@@ -1,0 +1,66 @@
+// delta-bench regenerates every table and figure of the evaluation
+// (experiments E1–E12 in DESIGN.md) and prints them as aligned text
+// tables. Select a subset with -only.
+//
+// Usage:
+//
+//	delta-bench            # everything (a few minutes)
+//	delta-bench -only E3,E4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"taskstream/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated experiment ids (e.g. E3,E10)")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			want[strings.ToUpper(id)] = true
+		}
+	}
+
+	fns := []struct {
+		id string
+		fn func() (experiments.Result, error)
+	}{
+		{"E1", experiments.E1Characterization},
+		{"E2", experiments.E2Configuration},
+		{"E3", experiments.E3Speedup},
+		{"E4", experiments.E4Ablation},
+		{"E5", experiments.E5Imbalance},
+		{"E6", experiments.E6Scaling},
+		{"E7", experiments.E7Granularity},
+		{"E8", experiments.E8Bandwidth},
+		{"E9", experiments.E9Traffic},
+		{"E10", experiments.E10Area},
+		{"E11", experiments.E11Window},
+		{"E12", experiments.E12Hints},
+		{"E13", experiments.E13QueueDepth},
+		{"E14", experiments.E14Energy},
+	}
+	for _, e := range fns {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		start := time.Now()
+		r, err := e.fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "delta-bench: %s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		for _, tb := range r.Tables {
+			fmt.Println(tb.String())
+		}
+		fmt.Printf("[%s done in %v]\n\n", e.id, time.Since(start).Round(time.Millisecond))
+	}
+}

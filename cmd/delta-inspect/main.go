@@ -1,0 +1,124 @@
+// delta-inspect dumps machine-level detail for one workload: the task
+// types with their fabric mappings, the binary task-descriptor encoding
+// of sample tasks, and the per-lane execution profile of a run.
+//
+// Usage:
+//
+//	delta-inspect -workload join [-variant delta] [-lanes 8] [-tasks 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"taskstream/internal/baseline"
+	"taskstream/internal/config"
+	"taskstream/internal/fabric"
+	"taskstream/internal/isa"
+	"taskstream/internal/stats"
+	"taskstream/internal/trace"
+	"taskstream/internal/workload"
+)
+
+func main() {
+	var (
+		name     = flag.String("workload", "spmv", "suite workload name")
+		variant  = flag.String("variant", "delta", "execution model variant")
+		lanes    = flag.Int("lanes", 8, "lane count")
+		nTasks   = flag.Int("tasks", 3, "sample task descriptors to dump")
+		timeline = flag.Bool("timeline", false, "render a per-lane occupancy timeline")
+	)
+	flag.Parse()
+
+	nb := workload.ByName(*name)
+	if nb == nil {
+		fatalf("unknown workload %q", *name)
+	}
+	w := nb.Build()
+	cfg := config.Default8().WithLanes(*lanes)
+
+	fmt.Printf("== %s: task types ==\n", *name)
+	for i, tt := range w.Prog.Types {
+		mp, err := fabric.Map(tt.DFG, cfg.Fabric.Rows, cfg.Fabric.Cols)
+		if err != nil {
+			fatalf("mapping %s: %v", tt.Name, err)
+		}
+		fmt.Printf("type %d %-14s: %2d DFG nodes → %2d cells, II=%d, latency=%d\n",
+			i, tt.Name, len(tt.DFG.Nodes), mp.Cells, mp.II, mp.Latency)
+	}
+
+	fmt.Printf("\n== sample task descriptors (TSK1 wire format) ==\n")
+	for i := 0; i < *nTasks && i < len(w.Prog.Tasks); i++ {
+		t := w.Prog.Tasks[i]
+		buf, err := isa.EncodeTask(&t)
+		if err != nil {
+			fatalf("encode: %v", err)
+		}
+		rt, err := isa.DecodeTask(buf)
+		if err != nil {
+			fatalf("decode: %v", err)
+		}
+		fmt.Printf("task %d: type=%d phase=%d hint=%d ins=%d outs=%d → %d bytes (round-trip ok=%v)\n",
+			i, t.Type, t.Phase, t.DefaultWorkHint(), len(t.Ins), len(t.Outs), len(buf),
+			rt.Key == t.Key)
+	}
+
+	var v baseline.Variant
+	found := false
+	for cand := baseline.Static; cand < baseline.NumVariants; cand++ {
+		if cand.String() == *variant {
+			v, found = cand, true
+		}
+	}
+	if !found {
+		fatalf("unknown variant %q", *variant)
+	}
+	mcfg, opts := v.Configure(cfg)
+	var rec *trace.Recorder
+	if *timeline {
+		rec = trace.New(200000)
+		opts.Trace = rec
+	}
+	rep, err := baseline.RunCfg(mcfg, opts, w.Prog, w.Storage)
+	if err != nil {
+		fatalf("run: %v", err)
+	}
+	if err := w.Verify(); err != nil {
+		fatalf("verification: %v", err)
+	}
+
+	fmt.Printf("\n== run profile (%s, %d lanes) ==\n", *variant, *lanes)
+	fmt.Printf("cycles %d, imbalance %.2f\n", rep.Cycles, stats.Imbalance(rep.LaneBusy))
+	for i, b := range rep.LaneBusy {
+		frac := float64(b) / float64(rep.Cycles)
+		bar := int(frac * 40)
+		fmt.Printf("lane %2d busy %8d  |%s%s| %s\n", i, b,
+			repeatRune('#', bar), repeatRune('.', 40-bar), stats.Pct(frac))
+	}
+	fmt.Printf("\nstall attribution: dram=%d spad=%d fwd=%d mcast=%d out=%d\n",
+		rep.Stats.Get("stall_in_dram"), rep.Stats.Get("stall_in_spad"),
+		rep.Stats.Get("stall_in_fwd"), rep.Stats.Get("stall_in_mcast"),
+		rep.Stats.Get("stall_out"))
+
+	if rec != nil {
+		fmt.Println()
+		fmt.Print(rec.Timeline(*lanes, 100))
+	}
+}
+
+func repeatRune(r rune, n int) string {
+	if n < 0 {
+		n = 0
+	}
+	out := make([]rune, n)
+	for i := range out {
+		out[i] = r
+	}
+	return string(out)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "delta-inspect: "+format+"\n", args...)
+	os.Exit(1)
+}

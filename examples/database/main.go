@@ -1,0 +1,58 @@
+// Database operators on Delta: a partitioned hash join whose build
+// tables are *forwarded* to probe tasks over the NoC (pipelined
+// inter-task dependence), swept across key skew. With forwarding off,
+// every table round-trips through DRAM behind a phase barrier.
+//
+//	go run ./examples/database
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"taskstream/internal/baseline"
+	"taskstream/internal/config"
+	"taskstream/internal/workload"
+)
+
+func main() {
+	fmt.Println("partitioned hash join: build → probe pipelining under key skew")
+	fmt.Println()
+	fmt.Println("zipf-s  static-cyc  +lb+mc-cyc  delta-cyc  fwd-pairs  dram(delta/static)")
+	for _, s := range []float64{0.0, 0.5, 0.9, 1.1} {
+		p := workload.JoinParams{NR: 24576, NS: 24576, Partitions: 48,
+			ZipfS: s, Universe: 1 << 16, Seed: 3}
+		st := result(p, baseline.Static)
+		lm := result(p, baseline.LBMC)
+		dl := result(p, baseline.Delta)
+		fmt.Printf("%6.1f  %10d  %10d  %9d  %9d  %17.1f%%\n",
+			s, st.cycles, lm.cycles, dl.cycles, dl.fwdPairs,
+			100*float64(dl.dramBytes)/float64(st.dramBytes))
+	}
+	fmt.Println()
+	fmt.Println("Reading: forwarding (delta vs +lb+mc) removes the build-table")
+	fmt.Println("round trip and overlaps the two phases; higher skew widens the")
+	fmt.Println("static design's barrier penalty, which load balancing absorbs.")
+}
+
+type out struct {
+	cycles    int64
+	fwdPairs  int64
+	dramBytes int64
+}
+
+func result(p workload.JoinParams, v baseline.Variant) out {
+	w := workload.Join(p)
+	rep, err := baseline.Run(v, config.Default8(), w.Prog, w.Storage)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := w.Verify(); err != nil {
+		log.Fatalf("join/%v: %v", v, err)
+	}
+	return out{
+		cycles:    rep.Cycles,
+		fwdPairs:  rep.Stats.Get("fwd_pairs"),
+		dramBytes: rep.Stats.Get("dram_bytes"),
+	}
+}

@@ -1,0 +1,67 @@
+// Graph analytics on Delta: run BFS and triangle counting over R-MAT
+// graphs of growing scale and show how the TaskStream mechanisms hold
+// up as degree skew grows — the workload class the paper's introduction
+// motivates.
+//
+//	go run ./examples/graphanalytics
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"taskstream/internal/baseline"
+	"taskstream/internal/config"
+	"taskstream/internal/stats"
+	"taskstream/internal/workload"
+)
+
+func main() {
+	fmt.Println("graph analytics: BFS and triangle counting on R-MAT graphs")
+	fmt.Println()
+
+	fmt.Println("BFS, level-synchronous, task-per-frontier-vertex (spawned):")
+	fmt.Println("scale  vertices   static-cyc    delta-cyc  speedup  imbalance(static→delta)")
+	for _, scale := range []int{10, 11, 12} {
+		p := workload.BFSParams{Scale: scale, AvgDeg: 8, Seed: 2}
+		sRep := mustRun(func() *workload.Workload { return workload.BFS(p) }, baseline.Static)
+		dRep := mustRun(func() *workload.Workload { return workload.BFS(p) }, baseline.Delta)
+		fmt.Printf("%5d  %8d  %11d  %11d  %6.2fx  %.2f → %.2f\n",
+			scale, 1<<scale, sRep.cycles, dRep.cycles,
+			float64(sRep.cycles)/float64(dRep.cycles), sRep.imb, dRep.imb)
+	}
+
+	fmt.Println()
+	fmt.Println("Triangle counting, task-per-vertex (quadratic skew):")
+	fmt.Println("scale  vertices   static-cyc    delta-cyc  speedup  imbalance(static→delta)")
+	for _, scale := range []int{8, 9, 10} {
+		p := workload.TriParams{Scale: scale, AvgDeg: 10, Seed: 4}
+		sRep := mustRun(func() *workload.Workload { return workload.Tri(p) }, baseline.Static)
+		dRep := mustRun(func() *workload.Workload { return workload.Tri(p) }, baseline.Delta)
+		fmt.Printf("%5d  %8d  %11d  %11d  %6.2fx  %.2f → %.2f\n",
+			scale, 1<<scale, sRep.cycles, dRep.cycles,
+			float64(sRep.cycles)/float64(dRep.cycles), sRep.imb, dRep.imb)
+	}
+
+	fmt.Println()
+	fmt.Println("Reading: the static design's imbalance grows with skew while")
+	fmt.Println("work-aware dispatch holds max/mean busy near 1.0 — recovering")
+	fmt.Println("the structure the task decomposition destroyed.")
+}
+
+type runOut struct {
+	cycles int64
+	imb    float64
+}
+
+func mustRun(build func() *workload.Workload, v baseline.Variant) runOut {
+	w := build()
+	rep, err := baseline.Run(v, config.Default8(), w.Prog, w.Storage)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := w.Verify(); err != nil {
+		log.Fatalf("%s/%v: %v", w.Name, v, err)
+	}
+	return runOut{cycles: rep.Cycles, imb: stats.Imbalance(rep.LaneBusy)}
+}

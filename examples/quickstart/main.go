@@ -1,0 +1,135 @@
+// Quickstart: build a task-parallel program against the TaskStream API
+// from scratch — define a task type (dataflow graph + kernel), create
+// annotated task instances, and run them on Delta and on the
+// static-parallel baseline.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"taskstream/internal/baseline"
+	"taskstream/internal/config"
+	"taskstream/internal/core"
+	"taskstream/internal/fabric"
+	"taskstream/internal/mem"
+)
+
+func main() {
+	// A task type: y[i] = a*x[i] + b, as a dataflow graph for the lane
+	// fabric plus a kernel giving its functional semantics.
+	b := fabric.NewBuilder("axpb", 3, 1)
+	mul := b.Add(fabric.OpMul, fabric.InPort(0), fabric.InPort(1))
+	add := b.Add(fabric.OpAdd, mul, fabric.InPort(2))
+	b.Out(0, add)
+	axpb := &core.TaskType{
+		Name: "axpb",
+		DFG:  b.MustBuild(),
+		Kernel: func(t *core.Task, in [][]uint64, st *mem.Storage) core.Result {
+			a, c := t.Scalars[0], t.Scalars[1]
+			out := make([]uint64, len(in[0]))
+			for i, x := range in[0] {
+				out[i] = a*x + c
+			}
+			return core.Result{Out: [][]uint64{out}}
+		},
+	}
+
+	// Data: 64 chunks with clustered skew — the first 8 chunks are 16x
+	// the rest, like the degree-ordered layouts real sparse data ships
+	// in. Contiguous static partitioning piles all of them onto one
+	// lane; work-aware dispatch spreads them.
+	st := mem.NewStorage()
+	al := mem.NewAllocator()
+	sizes := make([]int, 64)
+	for i := range sizes {
+		if i < 8 {
+			sizes[i] = 2048
+		} else {
+			sizes[i] = 128
+		}
+	}
+	var tasks []core.Task
+	total := 0
+	for i, n := range sizes {
+		src := al.AllocElems(n)
+		dst := al.AllocElems(n)
+		vals := make([]uint64, n)
+		for j := range vals {
+			vals[j] = uint64(j)
+		}
+		st.WriteElems(src, vals)
+		tasks = append(tasks, core.Task{
+			Type:    0,
+			Key:     uint64(i),
+			Scalars: []uint64{3, 7},
+			Ins: []core.InArg{
+				{Kind: core.ArgDRAMLinear, Base: src, N: n},
+				{Kind: core.ArgConst, Value: 3},
+				{Kind: core.ArgConst, Value: 7},
+			},
+			Outs: []core.OutArg{{Kind: core.OutDRAMLinear, Base: dst, N: n}},
+			// The TaskStream annotation that enables work-aware
+			// balancing: this task's estimated work.
+			WorkHint: int64(n),
+		})
+		total += n
+	}
+	prog := &core.Program{Name: "axpb", Types: []*core.TaskType{axpb},
+		NumPhases: 1, Tasks: tasks}
+
+	fmt.Printf("quickstart: %d tasks, %d total elements, sizes %d..%d\n",
+		len(tasks), total, minInt(sizes), maxInt(sizes))
+
+	// Run the same program under both execution models. Each run needs
+	// fresh storage (results are written into it) — rebuild.
+	var cycles [2]int64
+	for i, v := range []baseline.Variant{baseline.Static, baseline.Delta} {
+		runSt := mem.NewStorage()
+		for j, task := range tasks {
+			n := sizes[j]
+			vals := make([]uint64, n)
+			for k := range vals {
+				vals[k] = uint64(k)
+			}
+			runSt.WriteElems(task.Ins[0].Base, vals)
+		}
+		rep, err := baseline.Run(v, config.Default8(), prog, runSt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Check a few results: dst[j] = 3*j + 7.
+		for j := 0; j < 5; j++ {
+			got := runSt.Read8(tasks[0].Outs[0].Base + mem.Addr(j*8))
+			if got != uint64(3*j+7) {
+				log.Fatalf("wrong result: dst[%d] = %d", j, got)
+			}
+		}
+		cycles[i] = rep.Cycles
+		fmt.Printf("  %-7v %8d cycles\n", v, rep.Cycles)
+	}
+	fmt.Printf("TaskStream speedup on skewed tasks: %.2fx\n",
+		float64(cycles[0])/float64(cycles[1]))
+}
+
+func minInt(xs []int) int {
+	m := xs[0]
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func maxInt(xs []int) int {
+	m := xs[0]
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,3 @@
+module taskstream
+
+go 1.22

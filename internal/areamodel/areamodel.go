@@ -1,0 +1,100 @@
+// Package areamodel provides the analytical hardware-cost accounting
+// behind the paper's "TaskStream support is a small fraction of the
+// accelerator" claim (experiment E10). RTL synthesis is out of reach
+// for this reproduction, so the model prices each structure from its
+// dominant component — SRAM bits, CAM bits, FU datapaths, router
+// crossbars — using per-bit/per-unit constants calibrated to published
+// CGRA and NoC area breakdowns at a 28nm-class node. The absolute
+// numbers are estimates; the *ratio* of TaskStream additions to the
+// baseline datapath is the reproduced result.
+package areamodel
+
+import (
+	"taskstream/internal/config"
+)
+
+// Component is one priced hardware structure.
+type Component struct {
+	Name string
+	// Area in mm² (model units).
+	Area float64
+	// TaskStream marks structures added by the TaskStream model (the
+	// overhead under study); false marks baseline datapath.
+	TaskStream bool
+	// PerLane marks structures replicated per lane.
+	PerLane bool
+}
+
+// Model prices a configuration.
+type Model struct {
+	Components []Component
+	cfg        config.Config
+}
+
+// Area constants (mm², 28nm-class estimates).
+const (
+	fuArea          = 0.0035  // one 64-bit FU with routing share
+	portArea        = 0.0020  // one vector port (width-4) incl. buffers
+	sramMm2PerKB    = 0.0018  // dense SRAM
+	camMm2PerEntry  = 0.00009 // 64-bit CAM entry (tag/range match)
+	routerArea      = 0.012   // 5-port mesh router, 128-bit links
+	dispatchLogic   = 0.010   // coordinator pick/argmin tree
+	streamCtxArea   = 0.0011  // one stream-engine context (AG + tracking)
+	mcastTableEntry = 0.00012 // multicast group entry (range + mask + cursor)
+)
+
+// New builds the model for a configuration.
+func New(cfg config.Config) *Model {
+	m := &Model{cfg: cfg}
+	fab := cfg.Fabric
+	add := func(name string, area float64, ts, perLane bool) {
+		m.Components = append(m.Components, Component{Name: name, Area: area, TaskStream: ts, PerLane: perLane})
+	}
+
+	// Baseline per-lane datapath.
+	add("fabric FUs", float64(fab.Rows*fab.Cols)*fuArea, false, true)
+	add("vector ports", float64(2*fab.NumPorts)*portArea, false, true)
+	add("stream contexts", float64(2*fab.NumPorts)*streamCtxArea, false, true)
+	add("scratchpad", float64(cfg.Spad.Bytes)/1024*sramMm2PerKB, false, true)
+	add("config store", 4*sramMm2PerKB, false, true)
+	// Baseline shared structures.
+	add("mesh routers", float64(cfg.Lanes+cfg.DRAM.Channels)*routerArea, false, false)
+	add("memory controllers", float64(cfg.DRAM.Channels)*0.05, false, false)
+
+	// TaskStream additions.
+	taskEntryBits := 512.0 // type + scalars + stream descriptors + annotations
+	queueKB := float64(cfg.Task.QueueDepth) * taskEntryBits / 8 / 1024
+	add("task queues", float64(1)*queueKB*sramMm2PerKB, true, true)
+	add("coordinator dispatch", dispatchLogic, true, false)
+	add("work-hint table", float64(cfg.Lanes)*64/8/1024*sramMm2PerKB+0.002, true, false)
+	add("tag CAM", 64*camMm2PerEntry, true, false)
+	add("multicast table", 32*mcastTableEntry, true, false)
+	add("spawn/completion network", float64(cfg.Lanes)*0.0008, true, false)
+	add("forward gating", float64(fab.NumPorts)*0.0002, true, true)
+	return m
+}
+
+// Totals returns baseline, TaskStream-added, and total area in mm².
+func (m *Model) Totals() (baseline, added, total float64) {
+	for _, c := range m.Components {
+		a := c.Area
+		if c.PerLane {
+			a *= float64(m.cfg.Lanes)
+		}
+		if c.TaskStream {
+			added += a
+		} else {
+			baseline += a
+		}
+	}
+	return baseline, added, baseline + added
+}
+
+// OverheadFraction returns added/total — the headline overhead number.
+func (m *Model) OverheadFraction() float64 {
+	_, added, total := m.Totals()
+	if total == 0 {
+		return 0
+	}
+	return added / total
+}

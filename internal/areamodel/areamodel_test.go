@@ -1,0 +1,67 @@
+package areamodel
+
+import (
+	"testing"
+
+	"taskstream/internal/config"
+)
+
+func TestOverheadIsSmall(t *testing.T) {
+	m := New(config.Default8())
+	base, added, total := m.Totals()
+	if base <= 0 || added <= 0 {
+		t.Fatalf("totals: base=%v added=%v", base, added)
+	}
+	if total != base+added {
+		t.Fatalf("total %v != base+added %v", total, base+added)
+	}
+	// The reproduced claim: TaskStream hardware is a few percent of
+	// the accelerator — between 0.5% and 10%.
+	f := m.OverheadFraction()
+	if f < 0.005 || f > 0.10 {
+		t.Fatalf("overhead fraction %.4f outside the plausible band [0.005, 0.10]", f)
+	}
+}
+
+func TestOverheadShrinksWithBiggerFabric(t *testing.T) {
+	small := config.Default8()
+	big := config.Default8()
+	big.Fabric.Rows, big.Fabric.Cols = 8, 8
+	if New(big).OverheadFraction() >= New(small).OverheadFraction() {
+		t.Fatal("a larger fabric should dilute the TaskStream overhead")
+	}
+}
+
+func TestPerLaneScaling(t *testing.T) {
+	// Doubling lanes should roughly double total area (per-lane parts
+	// dominate) but keep the overhead fraction in the same band.
+	a := New(config.Default8().WithLanes(8))
+	b := New(config.Default8().WithLanes(16))
+	_, _, ta := a.Totals()
+	_, _, tb := b.Totals()
+	if tb < 1.6*ta || tb > 2.4*ta {
+		t.Fatalf("16-lane area %v vs 8-lane %v: expected ≈2x", tb, ta)
+	}
+	fa, fb := a.OverheadFraction(), b.OverheadFraction()
+	if fb > 2*fa {
+		t.Fatalf("overhead fraction should not blow up with lanes: %v → %v", fa, fb)
+	}
+}
+
+func TestComponentsCategorized(t *testing.T) {
+	m := New(config.Default8())
+	sawTS, sawBase := false, false
+	for _, c := range m.Components {
+		if c.Area <= 0 {
+			t.Fatalf("component %s has non-positive area", c.Name)
+		}
+		if c.TaskStream {
+			sawTS = true
+		} else {
+			sawBase = true
+		}
+	}
+	if !sawTS || !sawBase {
+		t.Fatal("model must contain both baseline and TaskStream components")
+	}
+}

@@ -1,0 +1,46 @@
+package areamodel
+
+import "taskstream/internal/stats"
+
+// Energy pricing: per-event constants (pJ, 28nm-class estimates — as
+// with area, the absolute numbers are modeled; the reproduced result is
+// the *composition* of energy and how the TaskStream mechanisms shift
+// it from DRAM toward the cheap on-chip structures).
+const (
+	pjDRAMLine   = 2200.0 // one 64B DRAM line access (≈34 pJ/B)
+	pjNoCFlit    = 6.0    // one flit traversing one link
+	pjSpadAccess = 8.0    // one 8B scratchpad access
+	pjFire       = 12.0   // one fabric firing (vector-width datapath)
+	pjDispatch   = 20.0   // one coordinator dispatch decision
+	pjSpawn      = 24.0   // one spawn round trip
+	pjLeakPerCyc = 50.0   // machine-wide static power per cycle
+)
+
+// EnergyBreakdown prices one run's event counts.
+type EnergyBreakdown struct {
+	DRAM    float64
+	NoC     float64
+	Spad    float64
+	Fabric  float64
+	Control float64
+	Static  float64
+}
+
+// Total returns the sum in pJ.
+func (e EnergyBreakdown) Total() float64 {
+	return e.DRAM + e.NoC + e.Spad + e.Fabric + e.Control + e.Static
+}
+
+// EnergyOf prices a run from its statistics counters (the names are
+// the ones core.Machine reports).
+func EnergyOf(s *stats.Set) EnergyBreakdown {
+	lines := s.Get("dram_lines_read") + s.Get("dram_lines_written")
+	return EnergyBreakdown{
+		DRAM:    float64(lines) * pjDRAMLine,
+		NoC:     float64(s.Get("noc_flit_cycles")) * pjNoCFlit,
+		Spad:    float64(s.Get("spad_accesses")) * pjSpadAccess,
+		Fabric:  float64(s.Get("fire_cycles")) * pjFire,
+		Control: float64(s.Get("tasks_dispatched"))*pjDispatch + float64(s.Get("tasks_spawned"))*pjSpawn,
+		Static:  float64(s.Get("cycles")) * pjLeakPerCyc,
+	}
+}

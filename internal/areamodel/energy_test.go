@@ -1,0 +1,67 @@
+package areamodel
+
+import (
+	"testing"
+
+	"taskstream/internal/stats"
+)
+
+func sampleStats() *stats.Set {
+	s := stats.NewSet()
+	s.SetVal("dram_lines_read", 1000)
+	s.SetVal("dram_lines_written", 500)
+	s.SetVal("noc_flit_cycles", 20000)
+	s.SetVal("spad_accesses", 30000)
+	s.SetVal("fire_cycles", 40000)
+	s.SetVal("tasks_dispatched", 100)
+	s.SetVal("tasks_spawned", 20)
+	s.SetVal("cycles", 50000)
+	return s
+}
+
+func TestEnergyComposition(t *testing.T) {
+	e := EnergyOf(sampleStats())
+	if e.DRAM != 1500*pjDRAMLine {
+		t.Fatalf("DRAM = %v", e.DRAM)
+	}
+	if e.NoC != 20000*pjNoCFlit || e.Spad != 30000*pjSpadAccess || e.Fabric != 40000*pjFire {
+		t.Fatal("per-event pricing wrong")
+	}
+	if e.Control != 100*pjDispatch+20*pjSpawn {
+		t.Fatalf("control = %v", e.Control)
+	}
+	if e.Static != 50000*pjLeakPerCyc {
+		t.Fatalf("static = %v", e.Static)
+	}
+	sum := e.DRAM + e.NoC + e.Spad + e.Fabric + e.Control + e.Static
+	if e.Total() != sum {
+		t.Fatalf("Total %v != sum %v", e.Total(), sum)
+	}
+}
+
+func TestDRAMDominatesAtTypicalMix(t *testing.T) {
+	// At a realistic event mix, DRAM must be the top contributor — the
+	// premise of the traffic-saving mechanisms' energy story.
+	e := EnergyOf(sampleStats())
+	for _, other := range []float64{e.NoC, e.Spad, e.Fabric, e.Control} {
+		if e.DRAM <= other {
+			t.Fatalf("DRAM energy %v should dominate (other %v)", e.DRAM, other)
+		}
+	}
+}
+
+func TestEnergyMonotoneInTraffic(t *testing.T) {
+	a := EnergyOf(sampleStats())
+	s := sampleStats()
+	s.SetVal("dram_lines_read", 2000)
+	b := EnergyOf(s)
+	if b.Total() <= a.Total() {
+		t.Fatal("more DRAM lines must cost more energy")
+	}
+}
+
+func TestEnergyZeroStats(t *testing.T) {
+	if got := EnergyOf(stats.NewSet()).Total(); got != 0 {
+		t.Fatalf("empty stats energy = %v, want 0", got)
+	}
+}

@@ -1,0 +1,442 @@
+package core
+
+import (
+	"fmt"
+
+	"taskstream/internal/sim"
+	"taskstream/internal/trace"
+)
+
+// Policy selects how the machine distributes tasks over lanes.
+type Policy uint8
+
+const (
+	// PolicyDynamic is the TaskStream coordinator: run-time dispatch,
+	// work-aware when the config enables it, round-robin otherwise.
+	PolicyDynamic Policy = iota
+	// PolicyStatic is the equivalent static-parallel design: tasks are
+	// block-partitioned over lanes before each phase begins and strict
+	// phase barriers apply.
+	PolicyStatic
+)
+
+// HintMode controls the fidelity of work hints (experiment E12).
+type HintMode uint8
+
+const (
+	// HintExact uses the task's annotation (or the default estimate).
+	HintExact HintMode = iota
+	// HintNone treats every task as unit work (work-oblivious).
+	HintNone
+	// HintNoisy perturbs hints by a deterministic per-task factor in
+	// [1/4, 4], modeling inaccurate programmer estimates.
+	HintNoisy
+)
+
+// ctlLatency models the coordinator's control-network round trip.
+const ctlLatency sim.Cycle = 4
+
+// coordinator is the TaskStream hardware: global task queues, the
+// dispatch policy, forwarding pairing, and phase tracking.
+type coordinator struct {
+	m      *Machine
+	policy Policy
+
+	// pending[phase] is the FIFO of undispatched tasks per phase.
+	pending [][]Task
+	// pendingCount counts undispatched tasks per phase; active counts
+	// dispatched-but-incomplete.
+	pendingCount []int
+	activeCount  []int
+	phase        int
+
+	// laneWork is the outstanding work estimate per lane.
+	laneWork []int64
+	rr       int // round-robin cursor
+
+	// consumersByTag indexes pending tasks that consume a forward tag.
+	consumersByTag map[uint64]int // tag → phase (lookup hint)
+
+	// completions and spawns arrive through control pipes.
+	completions   *sim.Pipe[completeEvt]
+	spawnsPipe    *sim.Pipe[Task]
+	spawnInFlight int
+
+	// Static policy state: per-lane assignment built at phase start.
+	staticAssigned []int // index into pending list → lane (parallel)
+
+	// Stats.
+	Dispatched   int64
+	Spawned      int64
+	FwdPairs     int64
+	BarrierWaits int64
+}
+
+func newCoordinator(m *Machine, policy Policy) *coordinator {
+	c := &coordinator{
+		m:              m,
+		policy:         policy,
+		pending:        make([][]Task, m.prog.NumPhases),
+		pendingCount:   make([]int, m.prog.NumPhases),
+		activeCount:    make([]int, m.prog.NumPhases),
+		laneWork:       make([]int64, m.cfg.Lanes),
+		consumersByTag: make(map[uint64]int),
+		completions:    sim.NewPipe[completeEvt](ctlLatency),
+		spawnsPipe:     sim.NewPipe[Task](ctlLatency),
+	}
+	for _, t := range m.prog.Tasks {
+		c.accept(t)
+	}
+	return c
+}
+
+// accept registers a task into its phase queue.
+func (c *coordinator) accept(t Task) {
+	c.pending[t.Phase] = append(c.pending[t.Phase], t)
+	c.pendingCount[t.Phase]++
+	if tag := t.ConsumesTag(); tag != 0 {
+		c.consumersByTag[tag] = t.Phase
+	}
+}
+
+// spawn is called by lanes announcing a child task (already delayed by
+// pipeline latency; the control-network latency is added here).
+func (c *coordinator) spawn(t Task) {
+	c.spawnInFlight++
+	c.spawnsPipe.Send(c.m.now, t)
+}
+
+// complete is called by lanes when a task finishes.
+func (c *coordinator) complete(ev completeEvt) {
+	c.completions.Send(c.m.now, ev)
+}
+
+// AllDone reports whether every task in every phase has completed and
+// no control traffic is in flight.
+func (c *coordinator) AllDone() bool {
+	if c.spawnInFlight > 0 || !c.completions.Empty() {
+		return false
+	}
+	for p := range c.pendingCount {
+		if c.pendingCount[p] > 0 || c.activeCount[p] > 0 {
+			return false
+		}
+	}
+	return c.m.mcast.drained()
+}
+
+// Tick drains control pipes, advances phases, runs the multicast
+// manager, and dispatches under the per-cycle budget.
+func (c *coordinator) Tick(now sim.Cycle) {
+	for {
+		ev, ok := c.completions.Recv(now)
+		if !ok {
+			break
+		}
+		c.laneWork[ev.lane] -= ev.hint
+		c.activeCount[ev.phase]--
+		if c.activeCount[ev.phase] < 0 {
+			panic("core: completion underflow")
+		}
+	}
+	for {
+		t, ok := c.spawnsPipe.Recv(now)
+		if !ok {
+			break
+		}
+		c.spawnInFlight--
+		if err := c.m.prog.validateTask(&t); err != nil {
+			panic(fmt.Sprintf("core: invalid spawned task: %v", err))
+		}
+		c.accept(t)
+		c.Spawned++
+	}
+
+	// Advance past completed phases. Dynamic mode also requires no
+	// in-flight spawns (they may target the next phase about to open;
+	// the ≤4-cycle conservatism is negligible).
+	for c.phase < len(c.pending)-1 &&
+		c.pendingCount[c.phase] == 0 && c.activeCount[c.phase] == 0 &&
+		c.spawnInFlight == 0 {
+		c.phase++
+		c.staticAssigned = nil
+	}
+
+	c.m.mcast.tick(now, 8, c.m.submitMcast)
+
+	budget := c.m.cfg.Task.DispatchPerCycle
+	for budget > 0 {
+		if !c.dispatchOne(now) {
+			break
+		}
+		budget--
+	}
+}
+
+// dispatchOne dispatches the next eligible task, reporting success.
+func (c *coordinator) dispatchOne(now sim.Cycle) bool {
+	q := c.pending[c.phase]
+	if len(q) == 0 {
+		if c.activeCount[c.phase] > 0 {
+			c.BarrierWaits++
+		}
+		return false
+	}
+	switch c.policy {
+	case PolicyStatic:
+		return c.dispatchStatic(now)
+	default:
+		return c.dispatchDynamic(now)
+	}
+}
+
+// dispatchDynamic implements the TaskStream policies. When the head
+// task produces a tagged stream and forwarding is enabled, the
+// coordinator tries to co-dispatch the whole forward group — every
+// still-pending producer the consumer needs, plus the consumer — onto
+// distinct lanes, recovering the pipelined inter-task dependence. If
+// the group cannot be formed (consumer missing, producers missing,
+// too few free lanes) the task runs alone with memory-mediated output.
+func (c *coordinator) dispatchDynamic(now sim.Cycle) bool {
+	t := c.pending[c.phase][0]
+	if tag := t.ProducesTag(); tag != 0 && c.m.cfg.Task.EnableForwarding {
+		if c.tryForwardGroup(t, tag) {
+			return true
+		}
+	}
+	lane := c.pickLane()
+	if lane < 0 {
+		return false
+	}
+	c.popCurrent(0)
+	r, err := c.m.resolve(t, lane, resolveOpts{})
+	if err != nil {
+		panic(err)
+	}
+	c.send(r, lane)
+	return true
+}
+
+// tryForwardGroup attempts to co-dispatch the head producer t, the
+// consumer of its tag, and any other pending producers that consumer
+// requires. Reports whether the group dispatched.
+func (c *coordinator) tryForwardGroup(t Task, tag uint64) bool {
+	ph, ok := c.consumersByTag[tag]
+	if !ok {
+		return false
+	}
+	ci := c.findPending(ph, func(x *Task) bool { return x.ConsumesTag() == tag })
+	if ci < 0 {
+		return false
+	}
+	consumer := c.pending[ph][ci]
+	// Collect every producer the consumer still needs. The head task t
+	// is one of them; others must be pending in the current phase.
+	type pick struct {
+		phase, idx int
+	}
+	producers := []Task{t}
+	removals := []pick{{c.phase, 0}, {ph, ci}}
+	fwdTags := map[uint64]bool{tag: true}
+	for _, in := range consumer.Ins {
+		if in.Kind != ArgForwardIn || in.Tag == tag {
+			continue
+		}
+		if _, have := c.m.tagData[in.Tag]; have {
+			continue // producer already ran; memory fallback serves it
+		}
+		pj := c.findPending(c.phase, func(x *Task) bool { return x.ProducesTag() == in.Tag })
+		if pj < 0 {
+			return false // producer not available: cannot form the group
+		}
+		producers = append(producers, c.pending[c.phase][pj])
+		removals = append(removals, pick{c.phase, pj})
+		fwdTags[in.Tag] = true
+	}
+	lanes := c.chooseDistinctLanes(len(producers) + 1)
+	if lanes == nil {
+		return false
+	}
+	// Remove group members from pending, higher indices first so that
+	// removals within the same phase queue do not shift one another
+	// (removals in different phases are independent).
+	for i := 1; i < len(removals); i++ {
+		for j := i; j > 0 && removals[j-1].idx < removals[j].idx; j-- {
+			removals[j-1], removals[j] = removals[j], removals[j-1]
+		}
+	}
+	for _, rm := range removals {
+		c.removePending(rm.phase, rm.idx)
+	}
+	delete(c.consumersByTag, tag)
+
+	gate := new(bool)
+	resolvedProds := make([]*resolved, len(producers))
+	for i, p := range producers {
+		r, err := c.m.resolve(p, lanes[i], resolveOpts{fwdOutTag: p.ProducesTag(), gate: gate})
+		if err != nil {
+			panic(err)
+		}
+		resolvedProds[i] = r
+	}
+	clane := lanes[len(producers)]
+	cr, err := c.m.resolve(consumer, clane, resolveOpts{fwdInTags: fwdTags, gate: gate})
+	if err != nil {
+		panic(err)
+	}
+	// Patch each producer's forward destination to the consumer's port.
+	for i, p := range producers {
+		ptag := p.ProducesTag()
+		cport := -1
+		for cp, in := range consumer.Ins {
+			if in.Kind == ArgForwardIn && in.Tag == ptag {
+				cport = cp
+			}
+		}
+		if cport < 0 {
+			panic("core: forward group consumer lost its port")
+		}
+		for op := range resolvedProds[i].outSet {
+			if resolvedProds[i].outSet[op].ConsumerLane == -1 {
+				resolvedProds[i].outSet[op].ConsumerLane = clane
+				resolvedProds[i].outSet[op].ConsumerPort = cport
+			}
+		}
+		c.send(resolvedProds[i], lanes[i])
+	}
+	c.send(cr, clane)
+	c.FwdPairs += int64(len(producers))
+	return true
+}
+
+// findPending returns the index of the first task in phase ph matching
+// pred, or -1.
+func (c *coordinator) findPending(ph int, pred func(*Task) bool) int {
+	for i := range c.pending[ph] {
+		if pred(&c.pending[ph][i]) {
+			return i
+		}
+	}
+	return -1
+}
+
+// chooseDistinctLanes picks k distinct lanes with queue space (by the
+// active dispatch policy's preference), or nil if impossible.
+func (c *coordinator) chooseDistinctLanes(k int) []int {
+	chosen := make([]int, 0, k)
+	used := make(map[int]bool, k)
+	for len(chosen) < k {
+		best := -1
+		var bestWork int64
+		for i := 0; i < c.m.cfg.Lanes; i++ {
+			if used[i] || c.m.lanes[i].QueueSpace() == 0 {
+				continue
+			}
+			if best < 0 || c.laneWork[i] < bestWork {
+				best, bestWork = i, c.laneWork[i]
+			}
+		}
+		if best < 0 {
+			return nil
+		}
+		used[best] = true
+		chosen = append(chosen, best)
+	}
+	return chosen
+}
+
+// popCurrent removes index i from the current phase queue.
+func (c *coordinator) popCurrent(i int) { c.removePending(c.phase, i) }
+
+func (c *coordinator) removePending(ph, i int) {
+	q := c.pending[ph]
+	c.pending[ph] = append(q[:i:i], q[i+1:]...)
+	c.pendingCount[ph]--
+}
+
+// send hands a resolved task to a lane and books the accounting.
+func (c *coordinator) send(r *resolved, lane int) {
+	c.m.lanes[lane].enqueue(r)
+	c.laneWork[lane] += r.hint
+	c.activeCount[r.task.Phase]++
+	c.Dispatched++
+	c.m.opts.Trace.Record(trace.Event{
+		Cycle: int64(c.m.now), Kind: trace.Dispatch, Lane: lane,
+		TaskKey: r.task.Key, TypeName: c.m.prog.Types[r.typeID].Name,
+		Phase: r.task.Phase,
+	})
+}
+
+// pickLane chooses a dispatch target with queue space, or -1.
+func (c *coordinator) pickLane() int { return c.pickLaneExcluding(-1) }
+
+// pickLaneExcluding chooses a lane other than skip (unless none
+// qualifies). Work-aware: least outstanding work; otherwise
+// round-robin.
+func (c *coordinator) pickLaneExcluding(skip int) int {
+	n := c.m.cfg.Lanes
+	if c.m.cfg.Task.EnableWorkAwareLB {
+		best, bestWork := -1, int64(0)
+		for i := 0; i < n; i++ {
+			if i == skip || c.m.lanes[i].QueueSpace() == 0 {
+				continue
+			}
+			if best < 0 || c.laneWork[i] < bestWork {
+				best, bestWork = i, c.laneWork[i]
+			}
+		}
+		return best
+	}
+	for k := 0; k < n; k++ {
+		i := (c.rr + k) % n
+		if i == skip || c.m.lanes[i].QueueSpace() == 0 {
+			continue
+		}
+		c.rr = (i + 1) % n
+		return i
+	}
+	return -1
+}
+
+// dispatchStatic implements the static-parallel comparator: at phase
+// start, the phase's task list is block-partitioned over lanes in
+// arrival order; each task may only run on its assigned lane.
+func (c *coordinator) dispatchStatic(now sim.Cycle) bool {
+	q := c.pending[c.phase]
+	if c.staticAssigned == nil {
+		// Build the partition once per phase: contiguous blocks, the
+		// compile-time division the paper's baseline uses.
+		n := len(q)
+		c.staticAssigned = make([]int, n)
+		lanes := c.m.cfg.Lanes
+		for i := 0; i < n; i++ {
+			c.staticAssigned[i] = i * lanes / n
+		}
+	}
+	// Dispatch the first task whose assigned lane has queue space.
+	for i := 0; i < len(q); i++ {
+		lane := c.staticAssigned[i]
+		if c.m.lanes[lane].QueueSpace() == 0 {
+			continue
+		}
+		t := q[i]
+		c.removePending(c.phase, i)
+		c.staticAssigned = append(c.staticAssigned[:i:i], c.staticAssigned[i+1:]...)
+		r, err := c.m.resolve(t, lane, resolveOpts{})
+		if err != nil {
+			panic(err)
+		}
+		c.send(r, lane)
+		return true
+	}
+	return false
+}
+
+// Imbalance returns the per-lane busy-cycle vector for reporting.
+func (c *coordinator) laneBusy() []int64 {
+	out := make([]int64, len(c.m.lanes))
+	for i, l := range c.m.lanes {
+		out[i] = l.BusyCycles
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package core_test
+
+import (
+	"fmt"
+
+	"taskstream/internal/config"
+	"taskstream/internal/core"
+	"taskstream/internal/fabric"
+	"taskstream/internal/mem"
+)
+
+// Example runs a two-task program — a doubling task forwarding its
+// stream to an adding task — on a 2-lane Delta machine, and prints the
+// verified results. This is the minimal end-to-end use of the
+// TaskStream API.
+func Example() {
+	// Task type: double every element.
+	b := fabric.NewBuilder("double", 1, 1)
+	b.Out(0, b.Add(fabric.OpAdd, fabric.InPort(0), fabric.InPort(0)))
+	double := &core.TaskType{
+		Name: "double", DFG: b.MustBuild(),
+		Kernel: func(t *core.Task, in [][]uint64, st *mem.Storage) core.Result {
+			out := make([]uint64, len(in[0]))
+			for i, v := range in[0] {
+				out[i] = 2 * v
+			}
+			return core.Result{Out: [][]uint64{out}}
+		},
+	}
+	// Task type: add ten.
+	b2 := fabric.NewBuilder("add10", 1, 1)
+	b2.Out(0, b2.Add(fabric.OpPass, fabric.InPort(0)))
+	add10 := &core.TaskType{
+		Name: "add10", DFG: b2.MustBuild(),
+		Kernel: func(t *core.Task, in [][]uint64, st *mem.Storage) core.Result {
+			out := make([]uint64, len(in[0]))
+			for i, v := range in[0] {
+				out[i] = v + 10
+			}
+			return core.Result{Out: [][]uint64{out}}
+		},
+	}
+
+	st := mem.NewStorage()
+	al := mem.NewAllocator()
+	src := al.AllocElems(4)
+	mid := al.AllocElems(4)
+	dst := al.AllocElems(4)
+	st.WriteElems(src, []uint64{1, 2, 3, 4})
+
+	prog := &core.Program{
+		Name:      "example",
+		Types:     []*core.TaskType{double, add10},
+		NumPhases: 2,
+		Tasks: []core.Task{
+			{Type: 0, Phase: 0,
+				Ins:  []core.InArg{{Kind: core.ArgDRAMLinear, Base: src, N: 4}},
+				Outs: []core.OutArg{{Kind: core.OutForward, Base: mid, N: 4, Tag: 1}}},
+			{Type: 1, Phase: 1,
+				Ins:  []core.InArg{{Kind: core.ArgForwardIn, Base: mid, N: 4, Tag: 1}},
+				Outs: []core.OutArg{{Kind: core.OutDRAMLinear, Base: dst, N: 4}}},
+		},
+	}
+
+	m, err := core.NewMachine(config.Default8().WithLanes(2), prog, st, core.Options{})
+	if err != nil {
+		panic(err)
+	}
+	if _, err := m.Run(); err != nil {
+		panic(err)
+	}
+	fmt.Println(st.ReadElems(dst, 4))
+	// Output: [12 14 16 18]
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"testing"
+
+	"taskstream/internal/mem"
+)
+
+// twoProducerProgram builds a merge-style consumer fed by two tagged
+// producers — the multi-producer forward group (sort's tree node shape).
+func twoProducerProgram(st *mem.Storage, n int) (*Program, mem.Addr) {
+	al := mem.NewAllocator()
+	srcA := al.AllocElems(n)
+	srcB := al.AllocElems(n)
+	midA := al.AllocElems(n)
+	midB := al.AllocElems(n)
+	dst := al.AllocElems(2 * n)
+	for i := 0; i < n; i++ {
+		st.Write8(srcA+mem.Addr(i*8), uint64(i*2))
+		st.Write8(srcB+mem.Addr(i*8), uint64(i*2+1))
+	}
+	merge := &TaskType{
+		Name: "merge2",
+		DFG:  passDFG("merge2"),
+		Kernel: func(t *Task, in [][]uint64, s *mem.Storage) Result {
+			out := make([]uint64, 0, len(in[0])+len(in[1]))
+			i, j := 0, 0
+			for i < len(in[0]) && j < len(in[1]) {
+				if in[0][i] <= in[1][j] {
+					out = append(out, in[0][i])
+					i++
+				} else {
+					out = append(out, in[1][j])
+					j++
+				}
+			}
+			out = append(out, in[0][i:]...)
+			out = append(out, in[1][j:]...)
+			return Result{Out: [][]uint64{nil, nil, out}}
+		},
+	}
+	prog := &Program{
+		Name:      "fwd2",
+		Types:     []*TaskType{copyType(), merge},
+		NumPhases: 2,
+		Tasks: []Task{
+			{Type: 0, Phase: 0, Key: 1,
+				Ins:  []InArg{{Kind: ArgDRAMLinear, Base: srcA, N: n}},
+				Outs: []OutArg{{Kind: OutForward, Base: midA, N: n, Tag: 11}}},
+			{Type: 0, Phase: 0, Key: 2,
+				Ins:  []InArg{{Kind: ArgDRAMLinear, Base: srcB, N: n}},
+				Outs: []OutArg{{Kind: OutForward, Base: midB, N: n, Tag: 12}}},
+			{Type: 1, Phase: 1, Key: 3,
+				Ins: []InArg{
+					{Kind: ArgForwardIn, Base: midA, N: n, Tag: 11},
+					{Kind: ArgForwardIn, Base: midB, N: n, Tag: 12},
+				},
+				Outs: []OutArg{{}, {}, {Kind: OutDRAMLinear, Base: dst, N: 2 * n}}},
+		},
+	}
+	return prog, dst
+}
+
+func TestTwoProducerForwardGroup(t *testing.T) {
+	const n = 256
+	st := mem.NewStorage()
+	prog, dst := twoProducerProgram(st, n)
+	rep := buildAndRun(t, testConfig(4), prog, st, Options{})
+	// Both producers must have paired (2 forward edges).
+	if got := rep.Stats.Get("fwd_pairs"); got != 2 {
+		t.Fatalf("fwd_pairs = %d, want 2", got)
+	}
+	// Result: interleaved merge of evens and odds = 0..2n-1.
+	for i := 0; i < 2*n; i++ {
+		if got := st.Read8(dst + mem.Addr(i*8)); got != uint64(i) {
+			t.Fatalf("dst[%d] = %d, want %d", i, got, i)
+		}
+	}
+}
+
+func TestForwardGroupNeedsThreeLanes(t *testing.T) {
+	// With only 2 lanes the 2-producer group cannot form: the run must
+	// fall back to memory and still be correct.
+	const n = 64
+	st := mem.NewStorage()
+	prog, dst := twoProducerProgram(st, n)
+	rep := buildAndRun(t, testConfig(2), prog, st, Options{})
+	if got := rep.Stats.Get("fwd_pairs"); got != 0 {
+		t.Fatalf("fwd_pairs = %d, want 0 (not enough lanes)", got)
+	}
+	for i := 0; i < 2*n; i++ {
+		if got := st.Read8(dst + mem.Addr(i*8)); got != uint64(i) {
+			t.Fatalf("fallback dst[%d] = %d, want %d", i, got, i)
+		}
+	}
+}
+
+func TestForwardGroupFasterThanFallback(t *testing.T) {
+	const n = 2048
+	stA, stB := mem.NewStorage(), mem.NewStorage()
+	progA, _ := twoProducerProgram(stA, n)
+	progB, _ := twoProducerProgram(stB, n)
+	cfgOn := testConfig(4)
+	cfgOff := testConfig(4)
+	cfgOff.Task.EnableForwarding = false
+	on := buildAndRun(t, cfgOn, progA, stA, Options{})
+	off := buildAndRun(t, cfgOff, progB, stB, Options{})
+	if on.Cycles >= off.Cycles {
+		t.Fatalf("forward group (%d) should beat memory round trip (%d)", on.Cycles, off.Cycles)
+	}
+}
+
+func TestForwardConsumerAcrossManyPhases(t *testing.T) {
+	// A producer in phase 0 whose consumer sits in phase 2: the pair
+	// still forms, skipping the intermediate phase barrier.
+	const n = 128
+	st := mem.NewStorage()
+	al := mem.NewAllocator()
+	src := al.AllocElems(n)
+	mid := al.AllocElems(n)
+	other := al.AllocElems(n)
+	otherDst := al.AllocElems(n)
+	dst := al.AllocElems(n)
+	for i := 0; i < n; i++ {
+		st.Write8(src+mem.Addr(i*8), uint64(i))
+		st.Write8(other+mem.Addr(i*8), uint64(i+1000))
+	}
+	prog := &Program{
+		Name:      "span-phase",
+		Types:     []*TaskType{copyType()},
+		NumPhases: 3,
+		Tasks: []Task{
+			{Type: 0, Phase: 0, Key: 1,
+				Ins:  []InArg{{Kind: ArgDRAMLinear, Base: src, N: n}},
+				Outs: []OutArg{{Kind: OutForward, Base: mid, N: n, Tag: 7}}},
+			{Type: 0, Phase: 1, Key: 2,
+				Ins:  []InArg{{Kind: ArgDRAMLinear, Base: other, N: n}},
+				Outs: []OutArg{{Kind: OutDRAMLinear, Base: otherDst, N: n}}},
+			{Type: 0, Phase: 2, Key: 3,
+				Ins:  []InArg{{Kind: ArgForwardIn, Base: mid, N: n, Tag: 7}},
+				Outs: []OutArg{{Kind: OutDRAMLinear, Base: dst, N: n}}},
+		},
+	}
+	rep := buildAndRun(t, testConfig(4), prog, st, Options{})
+	if rep.Stats.Get("fwd_pairs") != 1 {
+		t.Fatalf("fwd_pairs = %d, want 1", rep.Stats.Get("fwd_pairs"))
+	}
+	for i := 0; i < n; i++ {
+		if got := st.Read8(dst + mem.Addr(i*8)); got != uint64(i) {
+			t.Fatalf("dst[%d] = %d", i, got)
+		}
+	}
+}
+
+func TestStaticModeIgnoresForwardTags(t *testing.T) {
+	const n = 64
+	st := mem.NewStorage()
+	prog, dst := twoProducerProgram(st, n)
+	rep := buildAndRun(t, testConfig(4).StaticModel(), prog, st, Options{Policy: PolicyStatic})
+	if rep.Stats.Get("fwd_pairs") != 0 || rep.Stats.Get("fwd_elems") != 0 {
+		t.Fatal("static model must not forward")
+	}
+	for i := 0; i < 2*n; i++ {
+		if got := st.Read8(dst + mem.Addr(i*8)); got != uint64(i) {
+			t.Fatalf("static dst[%d] = %d", i, got)
+		}
+	}
+}
+
+func TestMulticastWindowZeroStillCorrect(t *testing.T) {
+	cfg := testConfig(4)
+	cfg.Task.CoalesceWindowCycles = 0
+	st := mem.NewStorage()
+	prog := sharedReadProgram(st, 6, 128, 32)
+	rep := buildAndRun(t, cfg, prog, st, Options{})
+	if rep.Stats.Get("tasks_run") != 6 {
+		t.Fatalf("tasks_run = %d", rep.Stats.Get("tasks_run"))
+	}
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"taskstream/internal/mem"
+)
+
+// Golden timing regression: exact cycle counts for a small fixed
+// program on a fixed machine. These pin the simulator's timing model —
+// if a change legitimately alters timing (a new mechanism, a fixed
+// inaccuracy), update the constants and say why in the commit.
+func TestGoldenCycles(t *testing.T) {
+	build := func() (*Program, *mem.Storage) {
+		st := mem.NewStorage()
+		al := mem.NewAllocator()
+		var tasks []Task
+		for i := 0; i < 6; i++ {
+			n := 64 * (i + 1)
+			src := al.AllocElems(n)
+			dst := al.AllocElems(n)
+			v := make([]uint64, n)
+			for j := range v {
+				v[j] = uint64(j)
+			}
+			st.WriteElems(src, v)
+			tasks = append(tasks, Task{
+				Type: 0, Key: uint64(i), Scalars: []uint64{2},
+				Ins:  []InArg{{Kind: ArgDRAMLinear, Base: src, N: n}},
+				Outs: []OutArg{{Kind: OutDRAMLinear, Base: dst, N: n}},
+			})
+		}
+		return &Program{Name: "golden", Types: []*TaskType{addKType()},
+			NumPhases: 1, Tasks: tasks}, st
+	}
+	progD, stD := build()
+	delta := buildAndRun(t, testConfig(2), progD, stD, Options{})
+	progS, stS := build()
+	static := buildAndRun(t, testConfig(2).StaticModel(), progS, stS, Options{Policy: PolicyStatic})
+
+	// Measured goldens (Default8 datapath, 2 lanes).
+	const wantDelta, wantStatic = 630, 643
+	if delta.Cycles != wantDelta {
+		t.Errorf("delta golden drifted: %d cycles, want %d", delta.Cycles, wantDelta)
+	}
+	if static.Cycles != wantStatic {
+		t.Errorf("static golden drifted: %d cycles, want %d", static.Cycles, wantStatic)
+	}
+	// Traffic goldens: 6 tasks moving 64+128+...+384 = 1344 elements
+	// each way = 168 read + 168 written lines.
+	if got := delta.Stats.Get("dram_lines_read"); got != 168 {
+		t.Errorf("lines read = %d, want 168", got)
+	}
+	if got := delta.Stats.Get("dram_lines_written"); got != 168 {
+		t.Errorf("lines written = %d, want 168", got)
+	}
+}

@@ -1,0 +1,278 @@
+package core
+
+import (
+	"taskstream/internal/mem"
+	"taskstream/internal/sim"
+	"taskstream/internal/stream"
+	"taskstream/internal/trace"
+)
+
+// laneState is the task-execution FSM state of a lane.
+type laneState uint8
+
+const (
+	laneIdle laneState = iota
+	laneConfig
+	laneRunning
+)
+
+// prodEvt is an output-port production maturing after pipeline latency.
+type prodEvt struct {
+	port int
+	n    int
+}
+
+// spawnEvt is a spawn announcement maturing after pipeline latency.
+type spawnEvt struct {
+	task Task
+}
+
+// completeEvt notifies the coordinator that a lane finished a task.
+type completeEvt struct {
+	lane  int
+	phase int
+	hint  int64
+}
+
+// Lane is one compute lane: a stream-fed fabric executing one task at a
+// time from its hardware task queue.
+type Lane struct {
+	id   int
+	m    *Machine
+	eng  *stream.Engine
+	spad *mem.Spad
+
+	queue *sim.Queue[*resolved]
+	cur   *resolved
+	state laneState
+
+	configDone sim.Cycle
+	curType    int
+	firing     int
+	nextFire   sim.Cycle
+	prod       *sim.Pipe[prodEvt]
+	spawnPipe  *sim.Pipe[spawnEvt]
+	reserved   []int // write-buffer space reserved by in-flight firings
+
+	// Stats.
+	BusyCycles   int64
+	FireCycles   int64
+	TasksRun     int64
+	ConfigStalls int64
+	// StallIn attributes blocked firing attempts to the input source
+	// kind that gated them; StallOut counts output-space stalls.
+	StallIn  map[stream.SrcKind]int64
+	StallOut int64
+}
+
+func newLane(id int, m *Machine) *Lane {
+	spad := mem.NewSpad(m.cfg.Spad)
+	l := &Lane{
+		id:        id,
+		m:         m,
+		spad:      spad,
+		queue:     sim.NewQueue[*resolved](m.cfg.Task.QueueDepth),
+		curType:   -1,
+		prod:      sim.NewPipe[prodEvt](0),
+		spawnPipe: sim.NewPipe[spawnEvt](0),
+		reserved:  make([]int, m.cfg.Fabric.NumPorts),
+		StallIn:   make(map[stream.SrcKind]int64),
+	}
+	l.eng = stream.NewEngine(id, m.cfg, m.topo, m.mesh, spad)
+	return l
+}
+
+// QueueSpace returns free task-queue slots.
+func (l *Lane) QueueSpace() int { return l.queue.Cap() - l.queue.Len() }
+
+// enqueue accepts a dispatched task; the coordinator has verified space.
+func (l *Lane) enqueue(r *resolved) {
+	if !l.queue.Push(r) {
+		panic("core: lane queue overflow (coordinator must check QueueSpace)")
+	}
+}
+
+// Tick advances the lane one cycle.
+func (l *Lane) Tick(now sim.Cycle) {
+	// Deliver NoC messages to the stream engine.
+	node := l.m.topo.LaneNode(l.id)
+	for {
+		msg, ok := l.m.mesh.Pop(node)
+		if !ok {
+			break
+		}
+		l.eng.OnMessage(msg)
+	}
+	l.spad.Tick(now)
+	l.eng.Tick(now)
+
+	if l.state != laneIdle || !l.queue.Empty() {
+		l.BusyCycles++
+	}
+
+	// Arm a read prefetch for the next queued task while the current
+	// one runs (the task queue's argument-prefetch datapath).
+	if l.cur != nil && !l.m.cfg.Task.DisablePrefetch && !l.eng.HasAhead() {
+		if next, ok := l.queue.Peek(); ok {
+			l.eng.SetupAhead(next.inSet)
+		}
+	}
+
+	switch l.state {
+	case laneIdle:
+		r, ok := l.queue.Pop()
+		if !ok {
+			return
+		}
+		l.cur = r
+		l.startTask(now)
+	case laneConfig:
+		if now >= l.configDone {
+			l.state = laneRunning
+		}
+	case laneRunning:
+		l.run(now)
+	}
+}
+
+// startTask programs the streams and begins configuration if needed.
+func (l *Lane) startTask(now sim.Cycle) {
+	r := l.cur
+	if l.eng.HasAhead() {
+		// The queue is FIFO, so an armed prefetch always belongs to
+		// the task just popped.
+		l.eng.Promote()
+	} else {
+		for p := 0; p < l.m.cfg.Fabric.NumPorts; p++ {
+			l.eng.SetupRead(p, r.inSet[p])
+		}
+	}
+	for p := 0; p < l.m.cfg.Fabric.NumPorts; p++ {
+		l.eng.SetupWrite(p, r.outSet[p])
+		l.reserved[p] = 0
+	}
+	l.firing = 0
+	l.nextFire = now
+	if r.startGate != nil {
+		*r.startGate = true // unblock paired producers' forwarding
+	}
+	l.m.opts.Trace.Record(trace.Event{
+		Cycle: int64(now), Kind: trace.Start, Lane: l.id,
+		TaskKey: r.task.Key, TypeName: l.m.prog.Types[r.typeID].Name,
+		Phase: r.task.Phase,
+	})
+	if r.typeID != l.curType {
+		l.ConfigStalls++
+		l.state = laneConfig
+		l.configDone = now + sim.Cycle(l.m.cfg.Fabric.ConfigCycles)
+		l.curType = r.typeID
+		return
+	}
+	l.state = laneRunning
+}
+
+// run advances the firing pipeline and completion detection.
+func (l *Lane) run(now sim.Cycle) {
+	r := l.cur
+	// Mature productions and spawns.
+	for {
+		ev, ok := l.prod.Recv(now)
+		if !ok {
+			break
+		}
+		l.eng.Produce(ev.port, ev.n)
+		l.reserved[ev.port] -= ev.n
+	}
+	for {
+		ev, ok := l.spawnPipe.Recv(now)
+		if !ok {
+			break
+		}
+		l.m.coord.spawn(ev.task)
+	}
+
+	// Attempt one firing.
+	if l.firing < r.firings && now >= l.nextFire {
+		if l.canFire(r) {
+			l.fire(now, r)
+		}
+	}
+
+	// Completion: all firings issued, pipeline drained, streams done.
+	if l.firing == r.firings && l.prod.Empty() && l.spawnPipe.Empty() && l.eng.Done() {
+		l.m.coord.complete(completeEvt{lane: l.id, phase: r.task.Phase, hint: r.hint})
+		l.m.opts.Trace.Record(trace.Event{
+			Cycle: int64(now), Kind: trace.Complete, Lane: l.id,
+			TaskKey: r.task.Key, TypeName: l.m.prog.Types[r.typeID].Name,
+			Phase: r.task.Phase,
+		})
+		l.TasksRun++
+		l.cur = nil
+		l.state = laneIdle
+	}
+}
+
+// canFire checks element availability and output space for the next
+// firing, attributing stalls to the first blocking port.
+func (l *Lane) canFire(r *resolved) bool {
+	f := l.firing
+	for p := 0; p < len(r.inSet); p++ {
+		if r.inSet[p].Kind == stream.SrcNone {
+			continue
+		}
+		need := portDelta(r.inN[p], f, r.firings)
+		if need > 0 && l.eng.Avail(p) < need {
+			l.StallIn[r.inSet[p].Kind]++
+			return false
+		}
+	}
+	for p := 0; p < len(r.outSet); p++ {
+		if r.outSet[p].Kind == stream.DstNone {
+			continue
+		}
+		k := portDelta(r.outN[p], f, r.firings)
+		if k > 0 && !l.eng.OutSpace(p, l.reserved[p]+k) {
+			l.StallOut++
+			return false
+		}
+	}
+	return true
+}
+
+// fire consumes one firing's inputs and schedules its outputs and
+// spawns after the pipeline latency.
+func (l *Lane) fire(now sim.Cycle, r *resolved) {
+	f := l.firing
+	lat := sim.Cycle(r.mapping.Latency)
+	for p := 0; p < len(r.inSet); p++ {
+		if r.inSet[p].Kind == stream.SrcNone {
+			continue
+		}
+		if need := portDelta(r.inN[p], f, r.firings); need > 0 {
+			l.eng.Consume(p, need)
+		}
+	}
+	for p := 0; p < len(r.outSet); p++ {
+		if r.outSet[p].Kind == stream.DstNone {
+			continue
+		}
+		if k := portDelta(r.outN[p], f, r.firings); k > 0 {
+			l.reserved[p] += k
+			l.prod.SendAt(now+lat, prodEvt{port: p, n: k})
+		}
+	}
+	for _, sp := range r.spawns {
+		if sp.AtFiring == f {
+			l.spawnPipe.SendAt(now+lat, spawnEvt{task: sp.Task})
+		}
+	}
+	l.firing++
+	l.nextFire = now + sim.Cycle(r.mapping.II)
+	l.FireCycles++
+}
+
+// Idle reports lane quiescence for the simulation engine.
+func (l *Lane) Idle() bool {
+	return l.state == laneIdle && l.queue.Empty() && l.spad.Idle() &&
+		l.prod.Empty() && l.spawnPipe.Empty()
+}

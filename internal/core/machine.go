@@ -1,0 +1,327 @@
+package core
+
+import (
+	"fmt"
+
+	"taskstream/internal/config"
+	"taskstream/internal/fabric"
+	"taskstream/internal/mem"
+	"taskstream/internal/noc"
+	"taskstream/internal/proto"
+	"taskstream/internal/sim"
+	"taskstream/internal/stats"
+	"taskstream/internal/stream"
+	"taskstream/internal/trace"
+)
+
+// Options select the execution model variant for a run.
+type Options struct {
+	// Policy picks TaskStream dispatch or the static-parallel baseline.
+	Policy Policy
+	// Hints controls work-hint fidelity (E12).
+	Hints HintMode
+	// MaxCycles overrides the safety limit (0 = default).
+	MaxCycles sim.Cycle
+	// Trace, when non-nil, records task lifecycle events.
+	Trace *trace.Recorder
+}
+
+// Machine is one fully wired accelerator instance executing one
+// program under one execution model.
+type Machine struct {
+	cfg     config.Config
+	opts    Options
+	prog    *Program
+	topo    proto.Topology
+	storage *mem.Storage
+
+	engine   *sim.Engine
+	mesh     *noc.Mesh
+	channels []*mem.Channel
+	memctrls []*memCtrl
+	lanes    []*Lane
+	coord    *coordinator
+	mcast    *mcastManager
+
+	mappings []fabric.Mapping
+	tagData  map[uint64][]uint64
+	// tagForwarded records whether a tag was delivered by forwarding
+	// (paired dispatch) rather than through memory.
+	tagForwarded map[uint64]bool
+
+	now sim.Cycle
+	set *stats.Set
+}
+
+// Report summarizes one run.
+type Report struct {
+	// Cycles is the total execution time.
+	Cycles int64
+	// LaneBusy is per-lane busy cycles (imbalance analysis).
+	LaneBusy []int64
+	// Stats holds every counter the machine collected.
+	Stats *stats.Set
+}
+
+// NewMachine validates, maps every task type onto the fabric, and wires
+// the hardware.
+func NewMachine(cfg config.Config, prog *Program, storage *mem.Storage, opts Options) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	topo := proto.Topology{Lanes: cfg.Lanes, Channels: cfg.DRAM.Channels}
+	if topo.Nodes() > noc.MaxNodes {
+		return nil, fmt.Errorf("core: %d nodes exceed the %d-node mesh limit", topo.Nodes(), noc.MaxNodes)
+	}
+	m := &Machine{
+		cfg:          cfg,
+		opts:         opts,
+		prog:         prog,
+		topo:         topo,
+		storage:      storage,
+		tagData:      make(map[uint64][]uint64),
+		tagForwarded: make(map[uint64]bool),
+		set:          stats.NewSet(),
+	}
+	m.mappings = make([]fabric.Mapping, len(prog.Types))
+	for i, tt := range prog.Types {
+		mp, err := fabric.Map(tt.DFG, cfg.Fabric.Rows, cfg.Fabric.Cols)
+		if err != nil {
+			return nil, fmt.Errorf("core: mapping type %s: %w", tt.Name, err)
+		}
+		m.mappings[i] = mp
+	}
+	m.mesh = noc.NewMesh(cfg.NoC, topo.Nodes())
+	m.mcast = newMcastManager(sim.Cycle(cfg.Task.CoalesceWindowCycles), cfg.DRAM.LineBytes)
+	for c := 0; c < cfg.DRAM.Channels; c++ {
+		ch := mem.NewChannel(cfg.DRAM)
+		m.channels = append(m.channels, ch)
+		m.memctrls = append(m.memctrls, newMemCtrl(m, c, ch))
+	}
+	for i := 0; i < cfg.Lanes; i++ {
+		m.lanes = append(m.lanes, newLane(i, m))
+	}
+	m.coord = newCoordinator(m, opts.Policy)
+
+	m.engine = sim.NewEngine()
+	if opts.MaxCycles > 0 {
+		m.engine.MaxCycles = opts.MaxCycles
+	}
+	m.engine.Register("clock", tickFunc(func(now sim.Cycle) { m.now = now }))
+	m.engine.Register("coordinator", m.coord)
+	for i, l := range m.lanes {
+		m.engine.Register(fmt.Sprintf("lane%d", i), l)
+	}
+	m.engine.Register("mesh", m.mesh)
+	for c, mc := range m.memctrls {
+		m.engine.Register(fmt.Sprintf("memctrl%d", c), mc)
+	}
+	for c, ch := range m.channels {
+		m.engine.Register(fmt.Sprintf("dram%d", c), chanTicker{ch: ch})
+	}
+	return m, nil
+}
+
+// tickFunc adapts a closure to sim.Ticker.
+type tickFunc func(sim.Cycle)
+
+func (f tickFunc) Tick(now sim.Cycle) { f(now) }
+
+// chanTicker adapts a DRAM channel (its responses are drained by the
+// memory controller, so the channel itself only ticks).
+type chanTicker struct{ ch *mem.Channel }
+
+func (c chanTicker) Tick(now sim.Cycle) { c.ch.Tick(now) }
+func (c chanTicker) Idle() bool         { return c.ch.Idle() }
+
+// Storage returns the functional store (for result verification).
+func (m *Machine) Storage() *mem.Storage { return m.storage }
+
+// effectiveHint applies the configured hint fidelity.
+func (m *Machine) effectiveHint(t *Task) int64 {
+	switch m.opts.Hints {
+	case HintNone:
+		return 1
+	case HintNoisy:
+		// Deterministic per-task factor in {1/4, 1/2, 1, 2, 4}.
+		h := t.DefaultWorkHint()
+		switch fabric.Mix64(t.Key^0x9e3779b97f4a7c15) % 5 {
+		case 0:
+			h /= 4
+		case 1:
+			h /= 2
+		case 3:
+			h *= 2
+		case 4:
+			h *= 4
+		}
+		if h < 1 {
+			h = 1
+		}
+		return h
+	default:
+		return t.DefaultWorkHint()
+	}
+}
+
+// submitMcast feeds a coordinator group-fetch line into its DRAM
+// channel, registering the delivery directory entry.
+func (m *Machine) submitMcast(req proto.McastReq) bool {
+	c := mem.ChannelOf(req.Line, m.cfg.DRAM.LineBytes, m.cfg.DRAM.Channels)
+	id := proto.MakeReqID(0xFF, false, 0, int64(req.Group)<<16|int64(req.Seq))
+	if !m.channels[c].Submit(mem.Request{ID: id, Line: req.Line}) {
+		return false
+	}
+	m.mcast.register(id, req)
+	return true
+}
+
+// Run executes the program to completion and reports.
+func (m *Machine) Run() (Report, error) {
+	cycles, err := m.engine.Run(m.coord.AllDone)
+	if err != nil {
+		return Report{}, err
+	}
+	return m.report(int64(cycles)), nil
+}
+
+// report assembles the statistics snapshot.
+func (m *Machine) report(cycles int64) Report {
+	s := m.set
+	s.SetVal("cycles", cycles)
+	s.SetVal("tasks_dispatched", m.coord.Dispatched)
+	s.SetVal("tasks_spawned", m.coord.Spawned)
+	s.SetVal("fwd_pairs", m.coord.FwdPairs)
+	s.SetVal("mcast_groups", m.mcast.Groups)
+	s.SetVal("mcast_joins", m.mcast.MemberJoins)
+	s.SetVal("mcast_lines_saved", m.mcast.LinesSaved)
+	var busy []int64
+	var fireCycles, tasksRun, cfgStalls int64
+	var dramReq, dramWr, spadAcc, fwdSent, fwdElems int64
+	stallKinds := []struct {
+		kind stream.SrcKind
+		name string
+	}{
+		{stream.SrcDRAM, "stall_in_dram"},
+		{stream.SrcSpad, "stall_in_spad"},
+		{stream.SrcForward, "stall_in_fwd"},
+		{stream.SrcMulticast, "stall_in_mcast"},
+	}
+	var stallOut int64
+	for _, sk := range stallKinds {
+		s.SetVal(sk.name, 0)
+	}
+	for _, l := range m.lanes {
+		for _, sk := range stallKinds {
+			s.Add(sk.name, l.StallIn[sk.kind])
+		}
+		stallOut += l.StallOut
+		busy = append(busy, l.BusyCycles)
+		fireCycles += l.FireCycles
+		tasksRun += l.TasksRun
+		cfgStalls += l.ConfigStalls
+		dramReq += l.eng.DRAMLinesRequested
+		dramWr += l.eng.DRAMLinesWritten
+		spadAcc += l.eng.SpadAccesses
+		fwdSent += l.eng.FwdMsgsSent
+		fwdElems += l.eng.FwdElemsRecv
+	}
+	s.SetVal("stall_out", stallOut)
+	s.SetVal("fire_cycles", fireCycles)
+	s.SetVal("tasks_run", tasksRun)
+	s.SetVal("config_stalls", cfgStalls)
+	s.SetVal("lane_dram_line_reads", dramReq)
+	s.SetVal("lane_dram_line_writes", dramWr)
+	s.SetVal("spad_accesses", spadAcc)
+	s.SetVal("fwd_msgs", fwdSent)
+	s.SetVal("fwd_elems", fwdElems)
+	var rd, wr, busyCh int64
+	for _, ch := range m.channels {
+		rd += ch.ReadLines
+		wr += ch.WriteLines
+		busyCh += ch.BusyCycles
+	}
+	s.SetVal("dram_lines_read", rd)
+	s.SetVal("dram_lines_written", wr)
+	s.SetVal("dram_bytes", (rd+wr)*int64(m.cfg.DRAM.LineBytes))
+	s.SetVal("dram_busy_cycles", busyCh)
+	s.SetVal("noc_msgs", m.mesh.MsgsSent)
+	s.SetVal("noc_flit_cycles", m.mesh.FlitCycles)
+	s.SetVal("noc_replicas", m.mesh.Replicas)
+	return Report{Cycles: cycles, LaneBusy: busy, Stats: s}
+}
+
+// memCtrl bridges one DRAM channel to the NoC: requests in, responses
+// (unicast or multicast) out.
+type memCtrl struct {
+	m    *Machine
+	chn  int
+	ch   *mem.Channel
+	held *noc.Message // response that could not inject (backpressure)
+}
+
+func newMemCtrl(m *Machine, chn int, ch *mem.Channel) *memCtrl {
+	return &memCtrl{m: m, chn: chn, ch: ch}
+}
+
+// Tick drains NoC requests into the channel and channel responses back
+// into the NoC.
+func (mc *memCtrl) Tick(now sim.Cycle) {
+	node := mc.m.topo.MemNode(mc.chn)
+	// Requests: accept while the channel has queue space.
+	for mc.ch.QueueSpace() > 0 {
+		msg, ok := mc.m.mesh.Pop(node)
+		if !ok {
+			break
+		}
+		body, ok := msg.Body.(proto.MemReqBody)
+		if !ok {
+			panic(fmt.Sprintf("core: memctrl got %T", msg.Body))
+		}
+		mc.ch.Submit(mem.Request{ID: body.ReqID, Line: body.Line, Write: body.Write})
+	}
+	// Responses: one injection attempt per cycle, holding under
+	// backpressure.
+	if mc.held != nil {
+		if mc.m.mesh.TryInject(*mc.held) {
+			mc.held = nil
+		}
+		return
+	}
+	r, ok := mc.ch.PopResponse(now)
+	if !ok {
+		return
+	}
+	var msg noc.Message
+	if req, isMcast := mc.m.mcast.lookup(r.ID); isMcast {
+		msg = noc.Message{
+			Kind:  noc.KindMemResp,
+			Src:   node,
+			Dests: req.Dests,
+			Bytes: mc.m.cfg.DRAM.LineBytes,
+			Body:  proto.McastLineBody{Group: req.Group, Seq: req.Seq},
+		}
+	} else {
+		lane, _, _, _ := proto.SplitReqID(r.ID)
+		bytes := mc.m.cfg.DRAM.LineBytes
+		if r.Write {
+			bytes = 0 // ack only
+		}
+		msg = noc.Message{
+			Kind:  noc.KindMemResp,
+			Src:   node,
+			Dests: noc.DestMask(mc.m.topo.LaneNode(lane)),
+			Bytes: bytes,
+			Body:  proto.MemRespBody{Line: r.Line, Write: r.Write, ReqID: r.ID},
+		}
+	}
+	if !mc.m.mesh.TryInject(msg) {
+		mc.held = &msg
+	}
+}
+
+// Idle reports controller quiescence.
+func (mc *memCtrl) Idle() bool { return mc.held == nil && mc.ch.Idle() }

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"taskstream/internal/config"
+	"taskstream/internal/fabric"
+	"taskstream/internal/mem"
+)
+
+// randomProgram generates a structurally varied two-phase program:
+// copy tasks, gather tasks, shared-read reductions, and forwarded
+// producer/consumer pairs, with sizes drawn from a seeded generator.
+// It returns the program, pre-initialized storage, and the list of
+// output regions to compare across execution models.
+type region struct {
+	base mem.Addr
+	n    int
+}
+
+func randomProgram(seed uint64) (*Program, *mem.Storage, []region) {
+	rng := seed
+	next := func(n int) int {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return int(rng % uint64(n))
+	}
+	st := mem.NewStorage()
+	al := mem.NewAllocator()
+
+	pass := func(name string) *fabric.DFG {
+		b := fabric.NewBuilder(name, 1, 1)
+		n := b.Add(fabric.OpPass, fabric.InPort(0))
+		b.Out(0, n)
+		return b.MustBuild()
+	}
+	types := []*TaskType{
+		{Name: "copy", DFG: pass("copy"),
+			Kernel: func(t *Task, in [][]uint64, s *mem.Storage) Result {
+				return Result{Out: [][]uint64{append([]uint64(nil), in[0]...)}}
+			}},
+		{Name: "sum2", DFG: pass("sum2"),
+			Kernel: func(t *Task, in [][]uint64, s *mem.Storage) Result {
+				var sum uint64
+				for _, v := range in[0] {
+					sum += v
+				}
+				for _, v := range in[1] {
+					sum += v * 3
+				}
+				return Result{Out: [][]uint64{nil, nil, {sum}}}
+			}},
+		{Name: "scale", DFG: pass("scale"),
+			Kernel: func(t *Task, in [][]uint64, s *mem.Storage) Result {
+				out := make([]uint64, len(in[0]))
+				for i, v := range in[0] {
+					out[i] = v*t.Scalars[0] + 1
+				}
+				return Result{Out: [][]uint64{out}}
+			}},
+	}
+
+	shared := al.AllocElems(64)
+	for i := 0; i < 64; i++ {
+		st.Write8(shared+mem.Addr(i*8), uint64(next(1000)))
+	}
+
+	var tasks []Task
+	var outs []region
+	nTasks := 6 + next(20)
+	for i := 0; i < nTasks; i++ {
+		n := 1 + next(120)
+		src := al.AllocElems(n)
+		for j := 0; j < n; j++ {
+			st.Write8(src+mem.Addr(j*8), uint64(next(1<<20)))
+		}
+		switch next(4) {
+		case 0: // plain copy
+			dst := al.AllocElems(n)
+			tasks = append(tasks, Task{Type: 0, Key: uint64(i),
+				Ins:  []InArg{{Kind: ArgDRAMLinear, Base: src, N: n}},
+				Outs: []OutArg{{Kind: OutDRAMLinear, Base: dst, N: n}}})
+			outs = append(outs, region{dst, n})
+		case 1: // gather copy
+			idx := al.AllocElems(n)
+			for j := 0; j < n; j++ {
+				st.Write8(idx+mem.Addr(j*8), uint64(next(64)))
+			}
+			dst := al.AllocElems(n)
+			tasks = append(tasks, Task{Type: 0, Key: uint64(i),
+				Ins:  []InArg{{Kind: ArgDRAMGather, Base: shared, IdxBase: idx, N: n}},
+				Outs: []OutArg{{Kind: OutDRAMLinear, Base: dst, N: n}}})
+			outs = append(outs, region{dst, n})
+		case 2: // shared-read reduction
+			res := al.AllocElems(1)
+			tasks = append(tasks, Task{Type: 1, Key: uint64(i),
+				Ins: []InArg{
+					{Kind: ArgDRAMLinear, Base: shared, N: 64, Shared: true},
+					{Kind: ArgDRAMLinear, Base: src, N: n},
+				},
+				Outs: []OutArg{{}, {}, {Kind: OutDRAMLinear, Base: res, N: 1}}})
+			outs = append(outs, region{res, 1})
+		default: // forwarded pair across phases
+			mid := al.AllocElems(n)
+			dst := al.AllocElems(n)
+			tag := uint64(1000 + i)
+			tasks = append(tasks, Task{Type: 0, Phase: 0, Key: uint64(i),
+				Ins:  []InArg{{Kind: ArgDRAMLinear, Base: src, N: n}},
+				Outs: []OutArg{{Kind: OutForward, Base: mid, N: n, Tag: tag}}})
+			tasks = append(tasks, Task{Type: 2, Phase: 1, Key: uint64(i + 500),
+				Scalars: []uint64{uint64(next(9) + 1)},
+				Ins:     []InArg{{Kind: ArgForwardIn, Base: mid, N: n, Tag: tag}},
+				Outs:    []OutArg{{Kind: OutDRAMLinear, Base: dst, N: n}}})
+			outs = append(outs, region{dst, n})
+		}
+	}
+	return &Program{Name: fmt.Sprintf("rand%d", seed), Types: types,
+		NumPhases: 2, Tasks: tasks}, st, outs
+}
+
+// runRandom executes one generated program under a model and returns
+// the output snapshot.
+func runRandom(t *testing.T, seed uint64, cfg config.Config, opts Options) [][]uint64 {
+	t.Helper()
+	prog, st, outs := randomProgram(seed)
+	m, err := NewMachine(cfg, prog, st, opts)
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	snap := make([][]uint64, len(outs))
+	for i, r := range outs {
+		snap[i] = st.ReadElems(r.base, r.n)
+	}
+	return snap
+}
+
+func TestRandomProgramsModelsAgree(t *testing.T) {
+	// Property: for arbitrary programs, every execution-model variant
+	// completes (no deadlock) and produces bit-identical results.
+	for seed := uint64(1); seed <= 20; seed++ {
+		cfg := testConfig(4)
+		static := runRandom(t, seed, cfg.StaticModel(), Options{Policy: PolicyStatic})
+		delta := runRandom(t, seed, cfg, Options{})
+		if len(static) != len(delta) {
+			t.Fatalf("seed %d: snapshot shape differs", seed)
+		}
+		for i := range static {
+			for j := range static[i] {
+				if static[i][j] != delta[i][j] {
+					t.Fatalf("seed %d: region %d elem %d: static %d, delta %d",
+						seed, i, j, static[i][j], delta[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestRandomProgramsUnderStressConfigs(t *testing.T) {
+	// Tiny buffers everywhere: backpressure paths must still complete.
+	stress := testConfig(3)
+	stress.NoC.VCDepth = 1
+	stress.NoC.FlitBytes = 8
+	stress.DRAM.QueueDepth = 1
+	stress.DRAM.Channels = 2
+	stress.Task.QueueDepth = 1
+	stress.Task.DispatchPerCycle = 1
+	for seed := uint64(30); seed <= 40; seed++ {
+		normal := runRandom(t, seed, testConfig(3), Options{})
+		tight := runRandom(t, seed, stress, Options{})
+		for i := range normal {
+			for j := range normal[i] {
+				if normal[i][j] != tight[i][j] {
+					t.Fatalf("seed %d: stress config changed results", seed)
+				}
+			}
+		}
+	}
+}
+
+func TestRandomProgramsHintModesAgree(t *testing.T) {
+	for seed := uint64(50); seed <= 56; seed++ {
+		a := runRandom(t, seed, testConfig(4), Options{Hints: HintExact})
+		b := runRandom(t, seed, testConfig(4), Options{Hints: HintNoisy})
+		c := runRandom(t, seed, testConfig(4), Options{Hints: HintNone})
+		for i := range a {
+			for j := range a[i] {
+				if a[i][j] != b[i][j] || a[i][j] != c[i][j] {
+					t.Fatalf("seed %d: hint mode changed results", seed)
+				}
+			}
+		}
+	}
+}
+
+func TestRandomProgramsSingleLane(t *testing.T) {
+	// Forward pairs must degrade gracefully when only one lane exists
+	// (no second lane for the consumer → memory fallback).
+	for seed := uint64(60); seed <= 66; seed++ {
+		multi := runRandom(t, seed, testConfig(4), Options{})
+		single := runRandom(t, seed, testConfig(1), Options{})
+		for i := range multi {
+			for j := range multi[i] {
+				if multi[i][j] != single[i][j] {
+					t.Fatalf("seed %d: lane count changed results", seed)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,275 @@
+// Package core implements the TaskStream execution model — the paper's
+// contribution — and the Delta machine that runs it: multi-lane
+// reconfigurable dataflow hardware in which tasks and their
+// communication structure are first-class primitives.
+//
+// A program is a set of task types (dataflow graphs mapped onto the
+// lane fabric) plus task instances annotated with the information the
+// hardware needs to recover inter-task structure: work hints for
+// load balancing, produce/consume stream tags for pipelined
+// dependences, and shared-read marks for multicast.
+package core
+
+import (
+	"fmt"
+
+	"taskstream/internal/fabric"
+	"taskstream/internal/mem"
+)
+
+// ArgKind identifies an input stream argument's source pattern.
+type ArgKind uint8
+
+// Input argument kinds.
+const (
+	// ArgNone marks an unused port slot.
+	ArgNone ArgKind = iota
+	// ArgDRAMLinear streams N consecutive elements from Base.
+	ArgDRAMLinear
+	// ArgDRAMAffine streams Rows×RowLen elements with a row pitch.
+	ArgDRAMAffine
+	// ArgDRAMGather streams Base[idx] for each index in the N-element
+	// index array at IdxBase.
+	ArgDRAMGather
+	// ArgSpadLinear streams N consecutive elements from lane scratchpad.
+	ArgSpadLinear
+	// ArgSpadGather gathers from lane scratchpad through IdxBase.
+	ArgSpadGather
+	// ArgConst delivers the scalar Value (a dwelling operand).
+	ArgConst
+	// ArgForwardIn consumes the stream tagged Tag from a producer task.
+	// Base gives the memory fallback region the producer writes when
+	// forwarding is disabled.
+	ArgForwardIn
+)
+
+// InArg is one input stream argument of a task instance.
+type InArg struct {
+	Kind ArgKind
+	// Base is the data base address (value array for gathers).
+	Base mem.Addr
+	// N is the element count.
+	N int
+	// Rows, RowLen, Pitch describe ArgDRAMAffine shapes (N = Rows*RowLen).
+	Rows, RowLen, Pitch int
+	// IdxBase is the gather-index array base.
+	IdxBase mem.Addr
+	// Value is the ArgConst scalar.
+	Value uint64
+	// Tag names the producer stream for ArgForwardIn.
+	Tag uint64
+	// Shared marks this read as shared across tasks: a multicast
+	// candidate (ArgDRAMLinear/ArgDRAMAffine only).
+	Shared bool
+}
+
+// OutKind identifies an output stream argument's destination.
+type OutKind uint8
+
+// Output argument kinds.
+const (
+	// OutNone marks an unused port slot.
+	OutNone OutKind = iota
+	// OutDRAMLinear writes N consecutive elements to Base.
+	OutDRAMLinear
+	// OutSpadLinear writes N consecutive elements to lane scratchpad.
+	OutSpadLinear
+	// OutForward forwards the stream to the consumer task holding the
+	// matching ArgForwardIn Tag; Base is the memory fallback used when
+	// forwarding is disabled.
+	OutForward
+	// OutDiscard drops elements (reductions whose result the kernel
+	// writes through Storage directly).
+	OutDiscard
+)
+
+// OutArg is one output stream argument of a task instance.
+type OutArg struct {
+	Kind OutKind
+	Base mem.Addr
+	// N is the expected element count; -1 lets the kernel determine it.
+	N   int
+	Tag uint64
+}
+
+// Task is one task instance: the unit of hardware scheduling.
+type Task struct {
+	// Type indexes Program.Types.
+	Type int
+	// Phase orders bulk-synchronous execution: the static model
+	// barriers between phases; TaskStream relaxes the barrier for
+	// tagged producer/consumer pairs.
+	Phase int
+	// Key is a program-chosen identity used for debugging, hint-noise
+	// seeding, and deterministic tie-breaks.
+	Key uint64
+	// Scalars are small immediate operands passed to the kernel.
+	Scalars []uint64
+	// Ins and Outs are the stream arguments, indexed by fabric port.
+	Ins  []InArg
+	Outs []OutArg
+	// WorkHint is the TaskStream work annotation. Zero means "use the
+	// default estimate" (the sum of input lengths).
+	WorkHint int64
+}
+
+// ProducesTag returns the forward tag this task produces, or 0.
+func (t *Task) ProducesTag() uint64 {
+	for _, o := range t.Outs {
+		if o.Kind == OutForward {
+			return o.Tag
+		}
+	}
+	return 0
+}
+
+// ConsumesTag returns the forward tag this task consumes, or 0.
+func (t *Task) ConsumesTag() uint64 {
+	for _, in := range t.Ins {
+		if in.Kind == ArgForwardIn {
+			return in.Tag
+		}
+	}
+	return 0
+}
+
+// DefaultWorkHint estimates task work as the total input elements.
+func (t *Task) DefaultWorkHint() int64 {
+	if t.WorkHint > 0 {
+		return t.WorkHint
+	}
+	var sum int64
+	for _, in := range t.Ins {
+		if in.Kind != ArgNone && in.Kind != ArgConst {
+			sum += int64(in.N)
+		}
+	}
+	if sum <= 0 {
+		sum = 1
+	}
+	return sum
+}
+
+// Result is what a kernel evaluation returns.
+type Result struct {
+	// Out holds the produced element values per output port. Entries
+	// for OutNone ports may be nil.
+	Out [][]uint64
+	// Spawns are the child tasks created by this execution, stamped
+	// with the firing index at which the hardware would emit them.
+	Spawns []Spawn
+}
+
+// Spawn is a dynamically created task (hierarchical dataflow).
+type Spawn struct {
+	// AtFiring is the pipeline firing after which the spawn is
+	// announced to the coordinator.
+	AtFiring int
+	Task     Task
+}
+
+// KernelFunc is the functional semantics of a task type. in[p] holds
+// the resolved element values of input port p (nil for ArgConst and
+// ArgNone ports — kernels read those from the task's args). Kernels may
+// read and write st for scratch structures the fabric would hold in
+// scratchpad (visited bitmaps, hash buckets); see DESIGN.md §3 for the
+// eager-evaluation discipline that keeps this correct.
+type KernelFunc func(t *Task, in [][]uint64, st *mem.Storage) Result
+
+// TaskType couples a dataflow graph with its functional semantics.
+type TaskType struct {
+	Name string
+	// DFG is the graph placed onto the lane fabric; its mapping yields
+	// the II and latency used by the timing model.
+	DFG *fabric.DFG
+	// Kernel is the functional semantics.
+	Kernel KernelFunc
+}
+
+// Program is a complete task-parallel workload instance.
+type Program struct {
+	Name  string
+	Types []*TaskType
+	// Tasks are the initial task instances; more may be spawned.
+	Tasks []Task
+	// NumPhases is 1 + the highest phase index that can occur
+	// (including spawned tasks).
+	NumPhases int
+}
+
+// Validate reports the first structural problem with the program.
+func (p *Program) Validate() error {
+	if len(p.Types) == 0 {
+		return fmt.Errorf("core: program %q has no task types", p.Name)
+	}
+	if p.NumPhases <= 0 {
+		return fmt.Errorf("core: program %q has no phases", p.Name)
+	}
+	for i, tt := range p.Types {
+		if tt.Kernel == nil {
+			return fmt.Errorf("core: program %q type %d (%s) has no kernel", p.Name, i, tt.Name)
+		}
+		if tt.DFG == nil {
+			return fmt.Errorf("core: program %q type %d (%s) has no DFG", p.Name, i, tt.Name)
+		}
+		if err := tt.DFG.Validate(); err != nil {
+			return err
+		}
+	}
+	for i := range p.Tasks {
+		if err := p.validateTask(&p.Tasks[i]); err != nil {
+			return fmt.Errorf("core: program %q task %d: %w", p.Name, i, err)
+		}
+	}
+	return nil
+}
+
+func (p *Program) validateTask(t *Task) error {
+	if t.Type < 0 || t.Type >= len(p.Types) {
+		return fmt.Errorf("type %d out of range", t.Type)
+	}
+	if t.Phase < 0 || t.Phase >= p.NumPhases {
+		return fmt.Errorf("phase %d out of range (%d phases)", t.Phase, p.NumPhases)
+	}
+	for pi, in := range t.Ins {
+		switch in.Kind {
+		case ArgNone, ArgConst, ArgForwardIn:
+		case ArgDRAMLinear, ArgSpadLinear:
+			if in.N < 0 {
+				return fmt.Errorf("port %d: negative N", pi)
+			}
+		case ArgDRAMAffine:
+			if in.Rows*in.RowLen != in.N {
+				return fmt.Errorf("port %d: affine shape %dx%d != N %d", pi, in.Rows, in.RowLen, in.N)
+			}
+		case ArgDRAMGather, ArgSpadGather:
+			if in.IdxBase == 0 {
+				return fmt.Errorf("port %d: gather without index base", pi)
+			}
+		default:
+			return fmt.Errorf("port %d: unknown ArgKind %d", pi, in.Kind)
+		}
+		if in.Shared && in.Kind != ArgDRAMLinear && in.Kind != ArgDRAMAffine {
+			return fmt.Errorf("port %d: Shared requires a linear/affine DRAM read", pi)
+		}
+	}
+	for pi, o := range t.Outs {
+		switch o.Kind {
+		case OutNone, OutDiscard:
+		case OutDRAMLinear, OutSpadLinear:
+			if o.Base == 0 {
+				return fmt.Errorf("out port %d: missing base", pi)
+			}
+		case OutForward:
+			if o.Tag == 0 {
+				return fmt.Errorf("out port %d: forward without tag", pi)
+			}
+			if o.Base == 0 {
+				return fmt.Errorf("out port %d: forward without memory fallback base", pi)
+			}
+		default:
+			return fmt.Errorf("out port %d: unknown OutKind %d", pi, o.Kind)
+		}
+	}
+	return nil
+}

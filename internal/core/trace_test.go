@@ -1,0 +1,59 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"taskstream/internal/mem"
+	"taskstream/internal/trace"
+)
+
+func TestTraceIntegration(t *testing.T) {
+	st := mem.NewStorage()
+	prog := skewedProgram(t, st)
+	rec := trace.New(0)
+	m, err := NewMachine(testConfig(4), prog, st, Options{Trace: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every task contributes exactly three events.
+	want := int(rep.Stats.Get("tasks_run")) * 3
+	if rec.Len() != want {
+		t.Fatalf("trace has %d events, want %d", rec.Len(), want)
+	}
+	spans := rec.Spans()
+	if len(spans) != int(rep.Stats.Get("tasks_run")) {
+		t.Fatalf("spans = %d, want %d", len(spans), rep.Stats.Get("tasks_run"))
+	}
+	for _, sp := range spans {
+		if sp.Started < sp.Dispatched || sp.Completed <= sp.Started {
+			t.Fatalf("span out of order: %+v", sp)
+		}
+		if sp.Completed > rep.Cycles {
+			t.Fatalf("span beyond run end: %+v", sp)
+		}
+		if sp.TypeName != "addk" {
+			t.Fatalf("unexpected type %q", sp.TypeName)
+		}
+	}
+	tl := rec.Timeline(4, 60)
+	if !strings.Contains(tl, "A = addk") {
+		t.Fatalf("timeline legend missing:\n%s", tl)
+	}
+}
+
+func TestTraceOffByDefault(t *testing.T) {
+	st := mem.NewStorage()
+	prog := skewedProgram(t, st)
+	m, err := NewMachine(testConfig(2), prog, st, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err) // nil recorder must be harmless end to end
+	}
+}

@@ -1,0 +1,412 @@
+// Package experiments regenerates every table and figure of the
+// evaluation (DESIGN.md §5, E1–E12). Each experiment is a function
+// returning rendered tables plus machine-readable metrics; the
+// delta-bench command prints them and bench_test.go exposes them as
+// benchmarks. The experiment set is a reconstruction — see the
+// source-text caveat at the top of DESIGN.md.
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"taskstream/internal/areamodel"
+	"taskstream/internal/baseline"
+	"taskstream/internal/config"
+	"taskstream/internal/core"
+	"taskstream/internal/stats"
+	"taskstream/internal/workload"
+)
+
+// Result is one experiment's output.
+type Result struct {
+	ID     string
+	Title  string
+	Tables []*stats.Table
+	// Metrics carries the headline numbers for assertions and
+	// EXPERIMENTS.md (e.g. "geomean_speedup").
+	Metrics map[string]float64
+}
+
+// IrregularNames lists the suite's irregular workloads (the regular
+// remainder are parity controls).
+var IrregularNames = map[string]bool{
+	"spmv": true, "bfs": true, "join": true, "tri": true, "sort": true, "kmeans": true,
+}
+
+// run executes one workload build under a variant and verifies results.
+func run(nb workload.NamedBuilder, v baseline.Variant, cfg config.Config) (core.Report, error) {
+	w := nb.Build()
+	rep, err := baseline.Run(v, cfg, w.Prog, w.Storage)
+	if err != nil {
+		return core.Report{}, fmt.Errorf("%s/%v: %w", nb.Name, v, err)
+	}
+	if err := w.Verify(); err != nil {
+		return core.Report{}, fmt.Errorf("%s/%v: verification failed: %w", nb.Name, v, err)
+	}
+	return rep, nil
+}
+
+// E1Characterization reproduces the workload-characterization table:
+// task counts, work-hint statistics, skew, and footprint.
+func E1Characterization() (Result, error) {
+	tb := stats.NewTable("E1: workload characterization",
+		"workload", "tasks", "phases", "mean work", "max work", "CV", "footprint")
+	maxCV := 0.0
+	for _, nb := range workload.Suite() {
+		w := nb.Build()
+		h := w.TaskSizes
+		cv := h.CV()
+		if cv > maxCV {
+			maxCV = cv
+		}
+		tb.AddRow(nb.Name, stats.I(int64(h.Count())), stats.I(int64(w.Prog.NumPhases)),
+			stats.F(h.Mean()), stats.I(h.Max()), stats.F(cv), stats.Bytes(w.BytesTouched))
+	}
+	return Result{
+		ID: "E1", Title: "Workload characterization",
+		Tables:  []*stats.Table{tb},
+		Metrics: map[string]float64{"max_cv": maxCV},
+	}, nil
+}
+
+// E2Configuration reproduces the architecture-parameter table.
+func E2Configuration() (Result, error) {
+	cfg := config.Default8()
+	tb := stats.NewTable("E2: machine configuration", "parameter", "value")
+	rows := []struct {
+		k, v string
+	}{
+		{"lanes", stats.I(int64(cfg.Lanes))},
+		{"fabric grid", fmt.Sprintf("%dx%d FUs", cfg.Fabric.Rows, cfg.Fabric.Cols)},
+		{"vector ports", fmt.Sprintf("%d in + %d out, width %d", cfg.Fabric.NumPorts, cfg.Fabric.NumPorts, cfg.Fabric.PortWidth)},
+		{"config switch", fmt.Sprintf("%d cycles", cfg.Fabric.ConfigCycles)},
+		{"scratchpad", fmt.Sprintf("%s, %d banks", stats.Bytes(int64(cfg.Spad.Bytes)), cfg.Spad.Banks)},
+		{"DRAM", fmt.Sprintf("%d ch x %d B/cyc, %d-cycle latency", cfg.DRAM.Channels, cfg.DRAM.BytesPerCycle, cfg.DRAM.LatencyCycles)},
+		{"NoC", fmt.Sprintf("mesh, %dB flits, %d-deep VCs", cfg.NoC.FlitBytes, cfg.NoC.VCDepth)},
+		{"task queues", fmt.Sprintf("%d entries/lane", cfg.Task.QueueDepth)},
+		{"dispatch rate", fmt.Sprintf("%d tasks/cycle", cfg.Task.DispatchPerCycle)},
+		{"coalesce window", fmt.Sprintf("%d cycles", cfg.Task.CoalesceWindowCycles)},
+	}
+	for _, r := range rows {
+		tb.AddRow(r.k, r.v)
+	}
+	return Result{ID: "E2", Title: "Machine configuration",
+		Tables: []*stats.Table{tb}, Metrics: map[string]float64{}}, nil
+}
+
+// E3Speedup reproduces the headline figure: Delta vs the equivalent
+// static-parallel design across the suite, with geomeans.
+func E3Speedup() (Result, error) {
+	cfg := config.Default8()
+	tb := stats.NewTable("E3: Delta speedup over static-parallel (8 lanes)",
+		"workload", "static cyc", "delta cyc", "speedup")
+	var all, irr []float64
+	for _, nb := range workload.Suite() {
+		s, err := run(nb, baseline.Static, cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		d, err := run(nb, baseline.Delta, cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		sp := stats.Speedup(s.Cycles, d.Cycles)
+		all = append(all, sp)
+		if IrregularNames[nb.Name] {
+			irr = append(irr, sp)
+		}
+		tb.AddRow(nb.Name, stats.I(s.Cycles), stats.I(d.Cycles), stats.Fx(sp))
+	}
+	gAll, gIrr := stats.Geomean(all), stats.Geomean(irr)
+	tb.AddRow("geomean", "", "", stats.Fx(gAll))
+	tb.AddRow("geomean (irregular)", "", "", stats.Fx(gIrr))
+	return Result{ID: "E3", Title: "Headline speedup",
+		Tables: []*stats.Table{tb},
+		Metrics: map[string]float64{
+			"geomean_speedup":           gAll,
+			"geomean_irregular_speedup": gIrr,
+		}}, nil
+}
+
+// E4Ablation stages the mechanisms: static → dyn-rr → +lb → +lb+mc →
+// delta, reporting speedup over static per workload.
+func E4Ablation() (Result, error) {
+	cfg := config.Default8()
+	tb := stats.NewTable("E4: mechanism ablation (speedup over static)",
+		"workload", "dyn-rr", "+lb", "+lb+mc", "delta")
+	metrics := map[string]float64{}
+	var deltaSpeedups []float64
+	for _, nb := range workload.Suite() {
+		base, err := run(nb, baseline.Static, cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		row := []string{nb.Name}
+		for v := baseline.DynamicRR; v < baseline.NumVariants; v++ {
+			r, err := run(nb, v, cfg)
+			if err != nil {
+				return Result{}, err
+			}
+			sp := stats.Speedup(base.Cycles, r.Cycles)
+			row = append(row, stats.Fx(sp))
+			if v == baseline.Delta {
+				deltaSpeedups = append(deltaSpeedups, sp)
+				metrics["delta_"+nb.Name] = sp
+			}
+		}
+		tb.AddRow(row...)
+	}
+	metrics["geomean_delta"] = stats.Geomean(deltaSpeedups)
+	return Result{ID: "E4", Title: "Mechanism ablation",
+		Tables: []*stats.Table{tb}, Metrics: metrics}, nil
+}
+
+// E5Imbalance reproduces the load-balance evidence: max/mean busy
+// cycles per lane, static vs delta.
+func E5Imbalance() (Result, error) {
+	cfg := config.Default8()
+	tb := stats.NewTable("E5: load imbalance (max/mean lane busy cycles)",
+		"workload", "static", "delta")
+	metrics := map[string]float64{}
+	for _, nb := range workload.Suite() {
+		s, err := run(nb, baseline.Static, cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		d, err := run(nb, baseline.Delta, cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		si, di := stats.Imbalance(s.LaneBusy), stats.Imbalance(d.LaneBusy)
+		tb.AddRow(nb.Name, stats.F(si), stats.F(di))
+		metrics["static_"+nb.Name] = si
+		metrics["delta_"+nb.Name] = di
+	}
+	return Result{ID: "E5", Title: "Load imbalance",
+		Tables: []*stats.Table{tb}, Metrics: metrics}, nil
+}
+
+// ScalingLanes is the lane sweep of E6.
+var ScalingLanes = []int{1, 2, 4, 8, 16, 32}
+
+// scalingSubset picks representative workloads for sweeps (one heavy
+// irregular, one pipelined, one regular) to bound runtime.
+func scalingSubset() []workload.NamedBuilder {
+	var out []workload.NamedBuilder
+	for _, name := range []string{"spmv", "tri", "sort", "gemm"} {
+		out = append(out, *workload.ByName(name))
+	}
+	return out
+}
+
+// E6Scaling sweeps lane count.
+func E6Scaling() (Result, error) {
+	var tables []*stats.Table
+	metrics := map[string]float64{}
+	for _, nb := range scalingSubset() {
+		tb := stats.NewTable(fmt.Sprintf("E6: lane scaling — %s", nb.Name),
+			"lanes", "static cyc", "delta cyc", "speedup")
+		for _, lanes := range ScalingLanes {
+			cfg := config.Default8().WithLanes(lanes)
+			s, err := run(nb, baseline.Static, cfg)
+			if err != nil {
+				return Result{}, err
+			}
+			d, err := run(nb, baseline.Delta, cfg)
+			if err != nil {
+				return Result{}, err
+			}
+			sp := stats.Speedup(s.Cycles, d.Cycles)
+			tb.AddRow(stats.I(int64(lanes)), stats.I(s.Cycles), stats.I(d.Cycles), stats.Fx(sp))
+			metrics[fmt.Sprintf("%s_lanes%d", nb.Name, lanes)] = sp
+		}
+		tables = append(tables, tb)
+	}
+	return Result{ID: "E6", Title: "Lane scaling", Tables: tables, Metrics: metrics}, nil
+}
+
+// E7Granularity sweeps spmv task granularity (rows per task).
+func E7Granularity() (Result, error) {
+	cfg := config.Default8()
+	tb := stats.NewTable("E7: task granularity — spmv rows/task",
+		"rows/task", "tasks", "static cyc", "delta cyc", "speedup")
+	metrics := map[string]float64{}
+	for _, grain := range []int{8, 16, 32, 64, 128, 256} {
+		p := workload.DefaultSpMV()
+		p.RowsPerTask = grain
+		mk := func() *workload.Workload { return workload.SpMV(p) }
+		nb := workload.NamedBuilder{Name: fmt.Sprintf("spmv-g%d", grain), Build: mk}
+		s, err := run(nb, baseline.Static, cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		d, err := run(nb, baseline.Delta, cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		sp := stats.Speedup(s.Cycles, d.Cycles)
+		tb.AddRow(stats.I(int64(grain)), stats.I(s.Stats.Get("tasks_run")),
+			stats.I(s.Cycles), stats.I(d.Cycles), stats.Fx(sp))
+		metrics[fmt.Sprintf("grain%d", grain)] = sp
+	}
+	return Result{ID: "E7", Title: "Task granularity", Tables: []*stats.Table{tb}, Metrics: metrics}, nil
+}
+
+// E8Bandwidth sweeps memory bandwidth (channel count).
+func E8Bandwidth() (Result, error) {
+	var tables []*stats.Table
+	metrics := map[string]float64{}
+	for _, nb := range scalingSubset() {
+		tb := stats.NewTable(fmt.Sprintf("E8: DRAM bandwidth — %s", nb.Name),
+			"channels", "static cyc", "delta cyc", "speedup")
+		for _, ch := range []int{1, 2, 4, 8} {
+			cfg := config.Default8()
+			cfg.DRAM.Channels = ch
+			s, err := run(nb, baseline.Static, cfg)
+			if err != nil {
+				return Result{}, err
+			}
+			d, err := run(nb, baseline.Delta, cfg)
+			if err != nil {
+				return Result{}, err
+			}
+			sp := stats.Speedup(s.Cycles, d.Cycles)
+			tb.AddRow(stats.I(int64(ch)), stats.I(s.Cycles), stats.I(d.Cycles), stats.Fx(sp))
+			metrics[fmt.Sprintf("%s_ch%d", nb.Name, ch)] = sp
+		}
+		tables = append(tables, tb)
+	}
+	return Result{ID: "E8", Title: "Bandwidth sensitivity", Tables: tables, Metrics: metrics}, nil
+}
+
+// E9Traffic reproduces the data-movement comparison: DRAM bytes and
+// NoC flit-cycles, delta normalized to static.
+func E9Traffic() (Result, error) {
+	cfg := config.Default8()
+	tb := stats.NewTable("E9: traffic, delta normalized to static",
+		"workload", "DRAM bytes", "NoC flit-cycles", "fwd elems", "mcast lines saved")
+	metrics := map[string]float64{}
+	for _, nb := range workload.Suite() {
+		s, err := run(nb, baseline.Static, cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		d, err := run(nb, baseline.Delta, cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		dr := ratio(d.Stats.Get("dram_bytes"), s.Stats.Get("dram_bytes"))
+		nr := ratio(d.Stats.Get("noc_flit_cycles"), s.Stats.Get("noc_flit_cycles"))
+		tb.AddRow(nb.Name, stats.Pct(dr), stats.Pct(nr),
+			stats.I(d.Stats.Get("fwd_elems")), stats.I(d.Stats.Get("mcast_lines_saved")))
+		metrics["dram_"+nb.Name] = dr
+	}
+	return Result{ID: "E9", Title: "Traffic", Tables: []*stats.Table{tb}, Metrics: metrics}, nil
+}
+
+// E10Area reproduces the hardware-overhead analysis.
+func E10Area() (Result, error) {
+	m := areamodel.New(config.Default8())
+	tb := stats.NewTable("E10: area model (mm², 28nm-class estimates)",
+		"component", "class", "area", "per lane")
+	for _, c := range m.Components {
+		class := "baseline"
+		if c.TaskStream {
+			class = "taskstream"
+		}
+		per := ""
+		if c.PerLane {
+			per = "x" + stats.I(int64(config.Default8().Lanes))
+		}
+		tb.AddRow(c.Name, class, fmt.Sprintf("%.4f", c.Area), per)
+	}
+	base, added, total := m.Totals()
+	tb.AddRow("baseline total", "", fmt.Sprintf("%.4f", base), "")
+	tb.AddRow("taskstream total", "", fmt.Sprintf("%.4f", added), "")
+	tb.AddRow("overhead", "", stats.Pct(m.OverheadFraction()), "")
+	_ = total
+	return Result{ID: "E10", Title: "Area overhead",
+		Tables:  []*stats.Table{tb},
+		Metrics: map[string]float64{"overhead_fraction": m.OverheadFraction()}}, nil
+}
+
+// E11Window sweeps the multicast coalescing window on the two
+// sharing-heavy workloads.
+func E11Window() (Result, error) {
+	var tables []*stats.Table
+	metrics := map[string]float64{}
+	for _, name := range []string{"gemm", "kmeans"} {
+		nb := *workload.ByName(name)
+		tb := stats.NewTable(fmt.Sprintf("E11: coalescing window — %s", name),
+			"window", "cycles", "mcast joins", "lines saved")
+		for _, win := range []int{0, 8, 32, 128, 512} {
+			cfg := config.Default8()
+			cfg.Task.CoalesceWindowCycles = win
+			r, err := run(nb, baseline.Delta, cfg)
+			if err != nil {
+				return Result{}, err
+			}
+			tb.AddRow(stats.I(int64(win)), stats.I(r.Cycles),
+				stats.I(r.Stats.Get("mcast_joins")), stats.I(r.Stats.Get("mcast_lines_saved")))
+			metrics[fmt.Sprintf("%s_win%d", name, win)] = float64(r.Cycles)
+		}
+		tables = append(tables, tb)
+	}
+	return Result{ID: "E11", Title: "Coalescing window", Tables: tables, Metrics: metrics}, nil
+}
+
+// E12Hints compares work-hint fidelity: exact vs noisy vs none, on the
+// skew-dominated workloads.
+func E12Hints() (Result, error) {
+	cfg, opts := baseline.Delta.Configure(config.Default8())
+	tb := stats.NewTable("E12: work-hint fidelity (delta cycles)",
+		"workload", "exact", "noisy", "none")
+	metrics := map[string]float64{}
+	for _, name := range []string{"spmv", "tri", "join"} {
+		nb := workload.ByName(name)
+		row := []string{name}
+		for _, h := range []core.HintMode{core.HintExact, core.HintNoisy, core.HintNone} {
+			w := nb.Build()
+			o := opts
+			o.Hints = h
+			rep, err := baseline.RunCfg(cfg, o, w.Prog, w.Storage)
+			if err != nil {
+				return Result{}, err
+			}
+			if err := w.Verify(); err != nil {
+				return Result{}, err
+			}
+			row = append(row, stats.I(rep.Cycles))
+			metrics[fmt.Sprintf("%s_h%d", name, h)] = float64(rep.Cycles)
+		}
+		tb.AddRow(row...)
+	}
+	return Result{ID: "E12", Title: "Hint fidelity", Tables: []*stats.Table{tb}, Metrics: metrics}, nil
+}
+
+// All runs every experiment in order.
+func All() ([]Result, error) {
+	fns := []func() (Result, error){
+		E1Characterization, E2Configuration, E3Speedup, E4Ablation,
+		E5Imbalance, E6Scaling, E7Granularity, E8Bandwidth,
+		E9Traffic, E10Area, E11Window, E12Hints, E13QueueDepth, E14Energy,
+	}
+	var out []Result
+	for _, fn := range fns {
+		r, err := fn()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ratio returns a/b guarding zero, rounding tiny negatives away.
+func ratio(a, b int64) float64 {
+	if b == 0 {
+		return math.Inf(1)
+	}
+	return float64(a) / float64(b)
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+
+	"taskstream/internal/areamodel"
+	"taskstream/internal/baseline"
+	"taskstream/internal/config"
+	"taskstream/internal/stats"
+	"taskstream/internal/workload"
+)
+
+// E13QueueDepth is the design-choice ablation DESIGN.md calls out: how
+// deep should the per-lane hardware task queue be, and how much does
+// next-task stream prefetch matter? Deep queues commit dispatch
+// decisions early (hurting work-aware balance); depth 1 exposes task
+// startup latency; prefetch hides it.
+func E13QueueDepth() (Result, error) {
+	var tables []*stats.Table
+	metrics := map[string]float64{}
+	for _, name := range []string{"spmv", "bfs"} {
+		nb := *workload.ByName(name)
+		tb := stats.NewTable(fmt.Sprintf("E13: task queue depth & prefetch — %s (delta cycles)", name),
+			"queue depth", "prefetch", "no prefetch")
+		for _, depth := range []int{1, 2, 4, 8, 16} {
+			row := []string{stats.I(int64(depth))}
+			for _, noPf := range []bool{false, true} {
+				cfg := config.Default8()
+				cfg.Task.QueueDepth = depth
+				cfg.Task.DisablePrefetch = noPf
+				r, err := run(nb, baseline.Delta, cfg)
+				if err != nil {
+					return Result{}, err
+				}
+				row = append(row, stats.I(r.Cycles))
+				metrics[fmt.Sprintf("%s_d%d_pf%v", name, depth, !noPf)] = float64(r.Cycles)
+			}
+			tb.AddRow(row...)
+		}
+		tables = append(tables, tb)
+	}
+	return Result{ID: "E13", Title: "Queue depth & prefetch ablation",
+		Tables: tables, Metrics: metrics}, nil
+}
+
+// E14Energy prices each suite run's data movement and compute with the
+// per-event energy model, static vs delta — reproducing the energy
+// composition argument (TaskStream shifts DRAM energy to the cheap
+// on-chip structures).
+func E14Energy() (Result, error) {
+	cfg := config.Default8()
+	tb := stats.NewTable("E14: energy (µJ, modeled)",
+		"workload", "static", "delta", "ratio", "delta DRAM share")
+	metrics := map[string]float64{}
+	var ratios []float64
+	for _, nb := range workload.Suite() {
+		s, err := run(nb, baseline.Static, cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		d, err := run(nb, baseline.Delta, cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		es := areamodel.EnergyOf(s.Stats)
+		ed := areamodel.EnergyOf(d.Stats)
+		ratio := ed.Total() / es.Total()
+		ratios = append(ratios, ratio)
+		tb.AddRow(nb.Name,
+			stats.F(es.Total()/1e6), stats.F(ed.Total()/1e6),
+			stats.Pct(ratio), stats.Pct(ed.DRAM/ed.Total()))
+		metrics["ratio_"+nb.Name] = ratio
+	}
+	metrics["geomean_ratio"] = stats.Geomean(ratios)
+	return Result{ID: "E14", Title: "Energy",
+		Tables: []*stats.Table{tb}, Metrics: metrics}, nil
+}

@@ -1,0 +1,288 @@
+// Package fabric models one lane's reconfigurable dataflow fabric: a
+// grid of functional units onto which a task type's dataflow graph
+// (DFG) is placed and routed ahead of time. The mapper produces the two
+// numbers the timing model needs — initiation interval (II) and
+// pipeline latency — and an interpreter executes simple element-wise
+// DFGs so that tests can cross-check kernel semantics against fabric
+// semantics.
+package fabric
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// OpKind is a functional-unit operation.
+type OpKind uint8
+
+// Operations supported by the fabric's FUs. All operate on 64-bit
+// words; comparison results are 0/1.
+const (
+	OpAdd OpKind = iota
+	OpSub
+	OpMul
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+	OpMin
+	OpMax
+	OpCmpLT // a<b → 1/0
+	OpCmpEQ
+	OpSelect // c!=0 ? a : b (three inputs)
+	OpPass   // identity (routing through an FU)
+	OpHash   // cheap 64-bit mix hash of a single input
+	OpPopcnt
+	OpAcc // stateful accumulator: sum of all inputs seen this task
+	numOps
+)
+
+// arity returns the input count of an operation.
+func (op OpKind) arity() int {
+	switch op {
+	case OpPass, OpHash, OpPopcnt, OpAcc:
+		return 1
+	case OpSelect:
+		return 3
+	default:
+		return 2
+	}
+}
+
+func (op OpKind) String() string {
+	names := [...]string{"add", "sub", "mul", "and", "or", "xor", "shl", "shr",
+		"min", "max", "cmplt", "cmpeq", "select", "pass", "hash", "popcnt", "acc"}
+	if int(op) < len(names) {
+		return names[op]
+	}
+	return fmt.Sprintf("op(%d)", int(op))
+}
+
+// PortRef encodes a DFG operand: values < 0 reference input port
+// (-1-port); values ≥ 0 reference a node id.
+type PortRef int
+
+// InPort returns the operand reference for fabric input port p.
+func InPort(p int) PortRef { return PortRef(-1 - p) }
+
+// IsPort reports whether the reference names an input port.
+func (r PortRef) IsPort() bool { return r < 0 }
+
+// Port returns the input port index of a port reference.
+func (r PortRef) Port() int { return int(-1 - r) }
+
+// Node is one operation instance in a DFG.
+type Node struct {
+	Op OpKind
+	In []PortRef
+}
+
+// DFG is a dataflow graph in SSA form: node operands may reference only
+// input ports or earlier nodes, which makes the graph acyclic by
+// construction.
+type DFG struct {
+	Name string
+	// NumIn and NumOut are the input/output port counts used.
+	NumIn, NumOut int
+	Nodes         []Node
+	// OutSrc[j] is the operand feeding output port j.
+	OutSrc []PortRef
+}
+
+// Validate reports the first structural problem, or nil.
+func (g *DFG) Validate() error {
+	if g.NumIn < 0 || g.NumOut <= 0 {
+		return fmt.Errorf("fabric: %s: needs ≥0 inputs and ≥1 output", g.Name)
+	}
+	if len(g.OutSrc) != g.NumOut {
+		return fmt.Errorf("fabric: %s: %d OutSrc entries for %d outputs", g.Name, len(g.OutSrc), g.NumOut)
+	}
+	checkRef := func(r PortRef, at int) error {
+		if r.IsPort() {
+			if p := r.Port(); p >= g.NumIn {
+				return fmt.Errorf("fabric: %s: reference to input port %d (have %d)", g.Name, p, g.NumIn)
+			}
+			return nil
+		}
+		if int(r) >= at {
+			return fmt.Errorf("fabric: %s: node %d references node %d (not earlier)", g.Name, at, int(r))
+		}
+		return nil
+	}
+	for i, n := range g.Nodes {
+		if n.Op >= numOps {
+			return fmt.Errorf("fabric: %s: node %d has unknown op", g.Name, i)
+		}
+		if len(n.In) != n.Op.arity() {
+			return fmt.Errorf("fabric: %s: node %d op %v wants %d operands, has %d",
+				g.Name, i, n.Op, n.Op.arity(), len(n.In))
+		}
+		for _, r := range n.In {
+			if err := checkRef(r, i); err != nil {
+				return err
+			}
+		}
+	}
+	for _, r := range g.OutSrc {
+		if err := checkRef(r, len(g.Nodes)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Builder incrementally constructs a DFG.
+type Builder struct {
+	g DFG
+}
+
+// NewBuilder starts a DFG with the given name and port counts.
+func NewBuilder(name string, numIn, numOut int) *Builder {
+	return &Builder{g: DFG{Name: name, NumIn: numIn, NumOut: numOut,
+		OutSrc: make([]PortRef, numOut)}}
+}
+
+// Add appends a node and returns its reference.
+func (b *Builder) Add(op OpKind, in ...PortRef) PortRef {
+	b.g.Nodes = append(b.g.Nodes, Node{Op: op, In: in})
+	return PortRef(len(b.g.Nodes) - 1)
+}
+
+// Out binds output port j to the value ref.
+func (b *Builder) Out(j int, ref PortRef) { b.g.OutSrc[j] = ref }
+
+// Build validates and returns the DFG.
+func (b *Builder) Build() (*DFG, error) {
+	g := b.g
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return &g, nil
+}
+
+// MustBuild is Build for statically known-good graphs.
+func (b *Builder) MustBuild() *DFG {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Eval interprets the DFG over element streams: in[p] is the element
+// sequence of input port p, all the same length n (short ports are
+// extended by repeating their last element, which models a dwelling
+// scalar operand). It returns one length-n sequence per output port.
+// OpAcc nodes carry running state across elements, so output j at
+// element i sees the accumulation of elements 0..i.
+func (g *DFG) Eval(in [][]uint64) ([][]uint64, error) {
+	if len(in) != g.NumIn {
+		return nil, fmt.Errorf("fabric: %s: Eval got %d input streams, want %d", g.Name, len(in), g.NumIn)
+	}
+	n := 0
+	for _, s := range in {
+		if len(s) > n {
+			n = len(s)
+		}
+	}
+	acc := make([]uint64, len(g.Nodes))
+	vals := make([]uint64, len(g.Nodes))
+	out := make([][]uint64, g.NumOut)
+	for j := range out {
+		out[j] = make([]uint64, n)
+	}
+	read := func(r PortRef, i int) uint64 {
+		if r.IsPort() {
+			s := in[r.Port()]
+			if len(s) == 0 {
+				return 0
+			}
+			if i >= len(s) {
+				return s[len(s)-1]
+			}
+			return s[i]
+		}
+		return vals[int(r)]
+	}
+	for i := 0; i < n; i++ {
+		for k, node := range g.Nodes {
+			a := read(node.In[0], i)
+			var b, c uint64
+			if len(node.In) > 1 {
+				b = read(node.In[1], i)
+			}
+			if len(node.In) > 2 {
+				c = read(node.In[2], i)
+			}
+			var v uint64
+			switch node.Op {
+			case OpAdd:
+				v = a + b
+			case OpSub:
+				v = a - b
+			case OpMul:
+				v = a * b
+			case OpAnd:
+				v = a & b
+			case OpOr:
+				v = a | b
+			case OpXor:
+				v = a ^ b
+			case OpShl:
+				v = a << (b & 63)
+			case OpShr:
+				v = a >> (b & 63)
+			case OpMin:
+				v = a
+				if b < a {
+					v = b
+				}
+			case OpMax:
+				v = a
+				if b > a {
+					v = b
+				}
+			case OpCmpLT:
+				if a < b {
+					v = 1
+				}
+			case OpCmpEQ:
+				if a == b {
+					v = 1
+				}
+			case OpSelect:
+				if a != 0 {
+					v = b
+				} else {
+					v = c
+				}
+			case OpPass:
+				v = a
+			case OpHash:
+				v = Mix64(a)
+			case OpPopcnt:
+				v = uint64(bits.OnesCount64(a))
+			case OpAcc:
+				acc[k] += a
+				v = acc[k]
+			}
+			vals[k] = v
+		}
+		for j, r := range g.OutSrc {
+			out[j][i] = read(r, i)
+		}
+	}
+	return out, nil
+}
+
+// Mix64 is the fabric's hash FU function (splitmix64 finalizer); it is
+// exported so kernels compute identical hashes to the hardware.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,260 @@
+package fabric
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// macDFG builds out = acc(a*b): the spmv/gemm inner-product pipeline.
+func macDFG() *DFG {
+	b := NewBuilder("mac", 2, 1)
+	m := b.Add(OpMul, InPort(0), InPort(1))
+	s := b.Add(OpAcc, m)
+	b.Out(0, s)
+	return b.MustBuild()
+}
+
+func TestBuilderAndValidate(t *testing.T) {
+	g := macDFG()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Nodes) != 2 || g.NumIn != 2 || g.NumOut != 1 {
+		t.Fatalf("unexpected shape: %+v", g)
+	}
+}
+
+func TestValidateRejectsForwardRef(t *testing.T) {
+	g := &DFG{Name: "bad", NumIn: 1, NumOut: 1,
+		Nodes:  []Node{{Op: OpPass, In: []PortRef{1}}, {Op: OpPass, In: []PortRef{InPort(0)}}},
+		OutSrc: []PortRef{0},
+	}
+	if err := g.Validate(); err == nil {
+		t.Fatal("forward reference must be rejected")
+	}
+}
+
+func TestValidateRejectsBadArity(t *testing.T) {
+	g := &DFG{Name: "bad", NumIn: 1, NumOut: 1,
+		Nodes:  []Node{{Op: OpAdd, In: []PortRef{InPort(0)}}},
+		OutSrc: []PortRef{0},
+	}
+	if err := g.Validate(); err == nil {
+		t.Fatal("wrong arity must be rejected")
+	}
+}
+
+func TestValidateRejectsBadPort(t *testing.T) {
+	g := &DFG{Name: "bad", NumIn: 1, NumOut: 1,
+		Nodes:  []Node{{Op: OpPass, In: []PortRef{InPort(3)}}},
+		OutSrc: []PortRef{0},
+	}
+	if err := g.Validate(); err == nil {
+		t.Fatal("out-of-range port must be rejected")
+	}
+}
+
+func TestEvalMac(t *testing.T) {
+	g := macDFG()
+	out, err := g.Eval([][]uint64{{1, 2, 3}, {10, 20, 30}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Running accumulation: 10, 50, 140.
+	want := []uint64{10, 50, 140}
+	for i := range want {
+		if out[0][i] != want[i] {
+			t.Fatalf("out = %v, want %v", out[0], want)
+		}
+	}
+}
+
+func TestEvalScalarExtension(t *testing.T) {
+	// A one-element port dwells: out = a + scalar.
+	b := NewBuilder("addk", 2, 1)
+	s := b.Add(OpAdd, InPort(0), InPort(1))
+	b.Out(0, s)
+	g := b.MustBuild()
+	out, _ := g.Eval([][]uint64{{1, 2, 3}, {100}})
+	want := []uint64{101, 102, 103}
+	for i := range want {
+		if out[0][i] != want[i] {
+			t.Fatalf("out = %v, want %v", out[0], want)
+		}
+	}
+}
+
+func TestEvalOps(t *testing.T) {
+	mk := func(op OpKind, ins ...PortRef) *DFG {
+		b := NewBuilder("t", len(ins), 1)
+		n := b.Add(op, ins...)
+		b.Out(0, n)
+		return b.MustBuild()
+	}
+	two := []PortRef{InPort(0), InPort(1)}
+	cases := []struct {
+		op   OpKind
+		in   [][]uint64
+		want uint64
+	}{
+		{OpAdd, [][]uint64{{3}, {4}}, 7},
+		{OpSub, [][]uint64{{10}, {4}}, 6},
+		{OpMul, [][]uint64{{3}, {4}}, 12},
+		{OpAnd, [][]uint64{{0b1100}, {0b1010}}, 0b1000},
+		{OpOr, [][]uint64{{0b1100}, {0b1010}}, 0b1110},
+		{OpXor, [][]uint64{{0b1100}, {0b1010}}, 0b0110},
+		{OpShl, [][]uint64{{1}, {4}}, 16},
+		{OpShr, [][]uint64{{16}, {4}}, 1},
+		{OpMin, [][]uint64{{9}, {4}}, 4},
+		{OpMax, [][]uint64{{9}, {4}}, 9},
+		{OpCmpLT, [][]uint64{{3}, {4}}, 1},
+		{OpCmpEQ, [][]uint64{{3}, {4}}, 0},
+	}
+	for _, c := range cases {
+		g := mk(c.op, two...)
+		out, err := g.Eval(c.in)
+		if err != nil {
+			t.Fatalf("%v: %v", c.op, err)
+		}
+		if out[0][0] != c.want {
+			t.Errorf("%v = %d, want %d", c.op, out[0][0], c.want)
+		}
+	}
+	// Select.
+	b := NewBuilder("sel", 3, 1)
+	n := b.Add(OpSelect, InPort(0), InPort(1), InPort(2))
+	b.Out(0, n)
+	g := b.MustBuild()
+	out, _ := g.Eval([][]uint64{{1, 0}, {10, 10}, {20, 20}})
+	if out[0][0] != 10 || out[0][1] != 20 {
+		t.Fatalf("select = %v", out[0])
+	}
+	// Popcnt and hash determinism.
+	g2 := mk(OpPopcnt, InPort(0))
+	out2, _ := g2.Eval([][]uint64{{0xFF}})
+	if out2[0][0] != 8 {
+		t.Fatalf("popcnt = %d", out2[0][0])
+	}
+	if Mix64(42) != Mix64(42) || Mix64(42) == Mix64(43) {
+		t.Fatal("Mix64 must be a deterministic non-trivial hash")
+	}
+}
+
+func TestEvalInputCountMismatch(t *testing.T) {
+	g := macDFG()
+	if _, err := g.Eval([][]uint64{{1}}); err == nil {
+		t.Fatal("want error for wrong stream count")
+	}
+}
+
+func TestMapSmallGraphFullyPipelined(t *testing.T) {
+	m, err := Map(macDFG(), 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.II != 1 {
+		t.Fatalf("II = %d, want 1 for a 2-node graph on 25 cells", m.II)
+	}
+	if m.Latency < 2 {
+		t.Fatalf("latency = %d, want ≥2 (two FU stages)", m.Latency)
+	}
+	if m.Cells != 2 {
+		t.Fatalf("cells = %d, want 2", m.Cells)
+	}
+}
+
+func TestMapOversubscribedGridRaisesII(t *testing.T) {
+	// 12-node chain on a 2x2 grid → sharing factor 3.
+	b := NewBuilder("chain", 1, 1)
+	prev := InPort(0)
+	for i := 0; i < 12; i++ {
+		prev = b.Add(OpPass, prev)
+	}
+	b.Out(0, prev)
+	g := b.MustBuild()
+	m, err := Map(g, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.II < 3 {
+		t.Fatalf("II = %d, want ≥3 (12 nodes / 4 cells)", m.II)
+	}
+	big, _ := Map(g, 5, 5)
+	if big.II >= m.II {
+		t.Fatalf("bigger grid should lower II: %d vs %d", big.II, m.II)
+	}
+}
+
+func TestMapDeterministic(t *testing.T) {
+	a, _ := Map(macDFG(), 5, 5)
+	b, _ := Map(macDFG(), 5, 5)
+	if a.II != b.II || a.Latency != b.Latency {
+		t.Fatal("mapping must be deterministic")
+	}
+	for i := range a.Place {
+		if a.Place[i] != b.Place[i] {
+			t.Fatal("placement must be deterministic")
+		}
+	}
+}
+
+func TestMapLatencyGrowsWithDepth(t *testing.T) {
+	depthOf := func(n int) int {
+		b := NewBuilder("chain", 1, 1)
+		prev := InPort(0)
+		for i := 0; i < n; i++ {
+			prev = b.Add(OpPass, prev)
+		}
+		b.Out(0, prev)
+		m, err := Map(b.MustBuild(), 5, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Latency
+	}
+	if depthOf(10) <= depthOf(2) {
+		t.Fatal("deeper graphs must have higher latency")
+	}
+}
+
+func TestMapEmptyGridError(t *testing.T) {
+	if _, err := Map(macDFG(), 0, 5); err == nil {
+		t.Fatal("want error for empty grid")
+	}
+}
+
+func TestMapProperty(t *testing.T) {
+	// Property: any valid random chain/diamond graph maps with II ≥ 1,
+	// latency ≥ graph depth, and every node placed in range.
+	f := func(rawN uint8) bool {
+		n := int(rawN%20) + 1
+		b := NewBuilder("p", 2, 1)
+		refs := []PortRef{InPort(0), InPort(1)}
+		for i := 0; i < n; i++ {
+			a := refs[i%len(refs)]
+			c := refs[(i*7+3)%len(refs)]
+			refs = append(refs, b.Add(OpAdd, a, c))
+		}
+		b.Out(0, refs[len(refs)-1])
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		m, err := Map(g, 4, 4)
+		if err != nil {
+			return false
+		}
+		if m.II < 1 || m.Latency < 1 {
+			return false
+		}
+		for _, p := range m.Place {
+			if p < 0 || p >= 16 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,172 @@
+// Package isa defines the binary task-descriptor encoding — the wire
+// format in which the host enqueues TaskStream work and in which lanes
+// spawn child tasks. The paper's point that "tasks and their
+// communication structure are first-class primitives in the hardware"
+// is concretely this: every annotation the coordinator acts on (work
+// hint, forward tags, shared-read marks) has dedicated descriptor bits.
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"taskstream/internal/core"
+	"taskstream/internal/mem"
+)
+
+// Magic identifies an encoded task descriptor.
+const Magic = 0x314b5354 // "TSK1"
+
+// maxCounts bound descriptor fields so a corrupt header cannot force a
+// huge allocation during decode.
+const (
+	maxScalars = 255
+	maxPorts   = 255
+)
+
+// EncodeTask serializes a task descriptor.
+func EncodeTask(t *core.Task) ([]byte, error) {
+	if len(t.Scalars) > maxScalars || len(t.Ins) > maxPorts || len(t.Outs) > maxPorts {
+		return nil, fmt.Errorf("isa: task exceeds descriptor field limits")
+	}
+	if t.Type < 0 || t.Type > 0xFFFF || t.Phase < 0 || t.Phase > 0xFFFF {
+		return nil, fmt.Errorf("isa: type/phase out of u16 range")
+	}
+	buf := make([]byte, 0, 64+len(t.Scalars)*8+len(t.Ins)*48+len(t.Outs)*24)
+	p := func(v uint64, n int) {
+		var tmp [8]byte
+		binary.LittleEndian.PutUint64(tmp[:], v)
+		buf = append(buf, tmp[:n]...)
+	}
+	p(Magic, 4)
+	p(uint64(t.Type), 2)
+	p(uint64(t.Phase), 2)
+	p(t.Key, 8)
+	p(uint64(t.WorkHint), 8)
+	p(uint64(len(t.Scalars)), 1)
+	p(uint64(len(t.Ins)), 1)
+	p(uint64(len(t.Outs)), 1)
+	p(0, 1)
+	for _, s := range t.Scalars {
+		p(s, 8)
+	}
+	for _, in := range t.Ins {
+		flags := uint64(0)
+		if in.Shared {
+			flags = 1
+		}
+		p(uint64(in.Kind), 1)
+		p(flags, 1)
+		p(0, 2)
+		p(uint64(uint32(in.N)), 4)
+		p(uint64(in.Base), 8)
+		p(uint64(in.IdxBase), 8)
+		if in.Kind == core.ArgConst {
+			p(in.Value, 8)
+		} else {
+			p(in.Tag, 8)
+		}
+		p(uint64(uint32(in.Rows)), 4)
+		p(uint64(uint32(in.RowLen)), 4)
+		p(uint64(uint32(in.Pitch)), 4)
+		p(0, 4)
+	}
+	for _, o := range t.Outs {
+		p(uint64(o.Kind), 1)
+		p(0, 3)
+		p(uint64(uint32(o.N)), 4)
+		p(uint64(o.Base), 8)
+		p(o.Tag, 8)
+	}
+	return buf, nil
+}
+
+// DecodeTask parses an encoded descriptor.
+func DecodeTask(buf []byte) (*core.Task, error) {
+	off := 0
+	g := func(n int) (uint64, error) {
+		if off+n > len(buf) {
+			return 0, fmt.Errorf("isa: truncated descriptor at byte %d", off)
+		}
+		var tmp [8]byte
+		copy(tmp[:], buf[off:off+n])
+		off += n
+		return binary.LittleEndian.Uint64(tmp[:]), nil
+	}
+	must := func(n int) uint64 {
+		v, err := g(n)
+		if err != nil {
+			panic(err)
+		}
+		return v
+	}
+	// Header is validated with explicit errors; the rest uses a
+	// recover-based short path to keep the parser readable.
+	magic, err := g(4)
+	if err != nil {
+		return nil, err
+	}
+	if magic != Magic {
+		return nil, fmt.Errorf("isa: bad magic %#x", magic)
+	}
+	var t core.Task
+	var perr error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if e, ok := r.(error); ok {
+					perr = e
+					return
+				}
+				panic(r)
+			}
+		}()
+		t.Type = int(must(2))
+		t.Phase = int(must(2))
+		t.Key = must(8)
+		t.WorkHint = int64(must(8))
+		ns := int(must(1))
+		ni := int(must(1))
+		no := int(must(1))
+		must(1)
+		for i := 0; i < ns; i++ {
+			t.Scalars = append(t.Scalars, must(8))
+		}
+		for i := 0; i < ni; i++ {
+			var in core.InArg
+			in.Kind = core.ArgKind(must(1))
+			in.Shared = must(1)&1 == 1
+			must(2)
+			in.N = int(int32(must(4)))
+			in.Base = mem.Addr(must(8))
+			in.IdxBase = mem.Addr(must(8))
+			vt := must(8)
+			if in.Kind == core.ArgConst {
+				in.Value = vt
+			} else {
+				in.Tag = vt
+			}
+			in.Rows = int(int32(must(4)))
+			in.RowLen = int(int32(must(4)))
+			in.Pitch = int(int32(must(4)))
+			must(4)
+			t.Ins = append(t.Ins, in)
+		}
+		for i := 0; i < no; i++ {
+			var o core.OutArg
+			o.Kind = core.OutKind(must(1))
+			must(3)
+			o.N = int(int32(must(4)))
+			o.Base = mem.Addr(must(8))
+			o.Tag = must(8)
+			t.Outs = append(t.Outs, o)
+		}
+		if off != len(buf) {
+			perr = fmt.Errorf("isa: %d trailing bytes", len(buf)-off)
+		}
+	}()
+	if perr != nil {
+		return nil, perr
+	}
+	return &t, nil
+}

@@ -1,0 +1,128 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+
+	"taskstream/internal/core"
+	"taskstream/internal/mem"
+)
+
+func sampleTask() *core.Task {
+	return &core.Task{
+		Type:    3,
+		Phase:   2,
+		Key:     0xABCDEF,
+		Scalars: []uint64{7, 8, 9},
+		Ins: []core.InArg{
+			{Kind: core.ArgDRAMLinear, Base: 0x1000, N: 128, Shared: true},
+			{Kind: core.ArgDRAMGather, Base: 0x2000, IdxBase: 0x3000, N: 64},
+			{Kind: core.ArgConst, Value: 42},
+			{Kind: core.ArgForwardIn, Base: 0x4000, N: 32, Tag: 17},
+			{Kind: core.ArgDRAMAffine, Base: 0x5000, N: 12, Rows: 3, RowLen: 4, Pitch: 100},
+		},
+		Outs: []core.OutArg{
+			{Kind: core.OutDRAMLinear, Base: 0x6000, N: 128},
+			{Kind: core.OutForward, Base: 0x7000, N: 64, Tag: 18},
+			{Kind: core.OutDiscard, N: 5},
+		},
+		WorkHint: 999,
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	task := sampleTask()
+	buf, err := EncodeTask(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeTask(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != task.Type || got.Phase != task.Phase || got.Key != task.Key ||
+		got.WorkHint != task.WorkHint {
+		t.Fatalf("header mismatch: %+v vs %+v", got, task)
+	}
+	if len(got.Scalars) != 3 || got.Scalars[2] != 9 {
+		t.Fatalf("scalars = %v", got.Scalars)
+	}
+	for i, in := range task.Ins {
+		g := got.Ins[i]
+		if g.Kind != in.Kind || g.Base != in.Base || g.N != in.N || g.Shared != in.Shared ||
+			g.IdxBase != in.IdxBase || g.Value != in.Value || g.Tag != in.Tag ||
+			g.Rows != in.Rows || g.RowLen != in.RowLen || g.Pitch != in.Pitch {
+			t.Fatalf("in[%d]: %+v vs %+v", i, g, in)
+		}
+	}
+	for i, o := range task.Outs {
+		g := got.Outs[i]
+		if g.Kind != o.Kind || g.Base != o.Base || g.N != o.N || g.Tag != o.Tag {
+			t.Fatalf("out[%d]: %+v vs %+v", i, g, o)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	buf, _ := EncodeTask(sampleTask())
+	if _, err := DecodeTask(buf[:10]); err == nil {
+		t.Fatal("truncated descriptor must fail")
+	}
+	bad := append([]byte(nil), buf...)
+	bad[0] ^= 0xFF
+	if _, err := DecodeTask(bad); err == nil {
+		t.Fatal("bad magic must fail")
+	}
+	long := append(append([]byte(nil), buf...), 0)
+	if _, err := DecodeTask(long); err == nil {
+		t.Fatal("trailing bytes must fail")
+	}
+	if _, err := DecodeTask(nil); err == nil {
+		t.Fatal("empty buffer must fail")
+	}
+}
+
+func TestEncodeRejectsOutOfRange(t *testing.T) {
+	if _, err := EncodeTask(&core.Task{Type: 1 << 17}); err == nil {
+		t.Fatal("type out of u16 range must fail")
+	}
+	big := &core.Task{Scalars: make([]uint64, 300)}
+	if _, err := EncodeTask(big); err == nil {
+		t.Fatal("too many scalars must fail")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(ty uint16, key uint64, hint int32, base uint32, n uint16, shared bool) bool {
+		task := &core.Task{
+			Type: int(ty), Key: key, WorkHint: int64(hint),
+			Ins: []core.InArg{{Kind: core.ArgDRAMLinear, Base: mem.Addr(base),
+				N: int(n), Shared: shared}},
+			Outs: []core.OutArg{{Kind: core.OutDRAMLinear, Base: mem.Addr(base) + 8, N: int(n)}},
+		}
+		buf, err := EncodeTask(task)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeTask(buf)
+		if err != nil {
+			return false
+		}
+		return got.Type == task.Type && got.Key == key && got.WorkHint == int64(hint) &&
+			got.Ins[0].Base == mem.Addr(base) && got.Ins[0].N == int(n) &&
+			got.Ins[0].Shared == shared
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTruncationFuzz(t *testing.T) {
+	// Decoding any prefix of a valid descriptor must error, never panic.
+	buf, _ := EncodeTask(sampleTask())
+	for cut := 0; cut < len(buf); cut++ {
+		if _, err := DecodeTask(buf[:cut]); err == nil {
+			t.Fatalf("prefix of %d bytes decoded successfully", cut)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package mem
+
+import (
+	"taskstream/internal/config"
+	"taskstream/internal/sim"
+)
+
+// Request is one line-granularity DRAM access. Requests carry an opaque
+// ID that the issuer uses to match responses; the timing model never
+// inspects payload data (the functional half lives in Storage).
+type Request struct {
+	// ID matches the response to the issuer's bookkeeping.
+	ID uint64
+	// Line is the line-aligned byte address.
+	Line Addr
+	// Write marks a store; stores are acknowledged after service like
+	// loads (the ack models write-completion tracking for barriers).
+	Write bool
+}
+
+// Response reports a serviced request.
+type Response struct {
+	ID    uint64
+	Line  Addr
+	Write bool
+}
+
+// Channel models one DRAM channel: a bounded request queue, a fixed
+// service latency, and a line-serialization bandwidth limit. A channel
+// accepts one request into service every LineBytes/BytesPerCycle
+// cycles; the response matures LatencyCycles after service start plus
+// the serialization time.
+type Channel struct {
+	cfg        config.DRAM
+	queue      *sim.Queue[Request]
+	resp       *sim.Pipe[Response]
+	nextIssue  sim.Cycle
+	servicePer sim.Cycle
+
+	// Stats, readable by the owner.
+	ReadLines  int64
+	WriteLines int64
+	BusyCycles int64
+}
+
+// NewChannel returns a channel with the given DRAM parameters.
+func NewChannel(cfg config.DRAM) *Channel {
+	per := sim.Cycle((cfg.LineBytes + cfg.BytesPerCycle - 1) / cfg.BytesPerCycle)
+	if per < 1 {
+		per = 1
+	}
+	return &Channel{
+		cfg:        cfg,
+		queue:      sim.NewQueue[Request](cfg.QueueDepth),
+		resp:       sim.NewPipe[Response](0),
+		servicePer: per,
+	}
+}
+
+// Submit enqueues a request, reporting false under backpressure.
+func (ch *Channel) Submit(r Request) bool { return ch.queue.Push(r) }
+
+// Tick advances the channel one cycle, starting service on the next
+// queued request when the data bus frees up.
+func (ch *Channel) Tick(now sim.Cycle) {
+	if now < ch.nextIssue {
+		ch.BusyCycles++
+		return
+	}
+	r, ok := ch.queue.Pop()
+	if !ok {
+		return
+	}
+	ch.BusyCycles++
+	ch.nextIssue = now + ch.servicePer
+	done := now + sim.Cycle(ch.cfg.LatencyCycles) + ch.servicePer
+	ch.resp.SendAt(done, Response{ID: r.ID, Line: r.Line, Write: r.Write})
+	if r.Write {
+		ch.WriteLines++
+	} else {
+		ch.ReadLines++
+	}
+}
+
+// PopResponse returns a matured response, if any.
+func (ch *Channel) PopResponse(now sim.Cycle) (Response, bool) {
+	return ch.resp.Recv(now)
+}
+
+// Idle reports whether the channel has no queued or in-flight work.
+func (ch *Channel) Idle() bool { return ch.queue.Empty() && ch.resp.Empty() }
+
+// QueueSpace returns remaining request-queue slots.
+func (ch *Channel) QueueSpace() int { return ch.queue.Cap() - ch.queue.Len() }
+
+// LineOf returns the line-aligned address containing a under cfg.
+func LineOf(a Addr, lineBytes int) Addr { return a &^ Addr(lineBytes-1) }
+
+// ChannelOf returns the channel index servicing the given line address:
+// lines are interleaved round-robin across channels.
+func ChannelOf(line Addr, lineBytes, channels int) int {
+	return int(line / Addr(lineBytes) % Addr(channels))
+}

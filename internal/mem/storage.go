@@ -1,0 +1,115 @@
+// Package mem models the accelerator's memory system in two decoupled
+// halves:
+//
+//   - Storage is the functional half: a sparse, page-backed byte store
+//     holding the actual data workloads compute on. Kernels read and
+//     write it eagerly; results are therefore real, not synthetic.
+//   - DRAM is the timing half: multi-channel bandwidth/latency queues
+//     that model when bytes move, independent of what they contain.
+//
+// The split follows the repository-wide simulation discipline (see
+// DESIGN.md §3): functional effects are applied at task dispatch under
+// the workloads' phase discipline, while cycle-level timing flows
+// through request/response traffic.
+package mem
+
+// Addr is a byte address in the accelerator's flat physical space.
+type Addr uint64
+
+// ElemBytes is the fixed element width used throughout the machine:
+// every stream element is one 64-bit word.
+const ElemBytes = 8
+
+const (
+	pageShift = 12
+	pageBytes = 1 << pageShift
+	pageMask  = pageBytes - 1
+)
+
+// Storage is the functional backing store. Pages are allocated lazily
+// on first touch; untouched memory reads as zero.
+type Storage struct {
+	pages map[Addr]*[pageBytes]byte
+}
+
+// NewStorage returns an empty store.
+func NewStorage() *Storage {
+	return &Storage{pages: make(map[Addr]*[pageBytes]byte)}
+}
+
+func (s *Storage) page(a Addr, create bool) *[pageBytes]byte {
+	pn := a >> pageShift
+	p := s.pages[pn]
+	if p == nil && create {
+		p = new([pageBytes]byte)
+		s.pages[pn] = p
+	}
+	return p
+}
+
+// Read8 returns the 64-bit word at a, which must be 8-byte aligned.
+func (s *Storage) Read8(a Addr) uint64 {
+	if a%ElemBytes != 0 {
+		panic("mem: unaligned Read8")
+	}
+	p := s.page(a, false)
+	if p == nil {
+		return 0
+	}
+	off := a & pageMask
+	var v uint64
+	for i := 0; i < ElemBytes; i++ {
+		v |= uint64(p[off+Addr(i)]) << (8 * i)
+	}
+	return v
+}
+
+// Write8 stores the 64-bit word v at a, which must be 8-byte aligned.
+func (s *Storage) Write8(a Addr, v uint64) {
+	if a%ElemBytes != 0 {
+		panic("mem: unaligned Write8")
+	}
+	p := s.page(a, true)
+	off := a & pageMask
+	for i := 0; i < ElemBytes; i++ {
+		p[off+Addr(i)] = byte(v >> (8 * i))
+	}
+}
+
+// ReadElems reads n consecutive 64-bit words starting at a.
+func (s *Storage) ReadElems(a Addr, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = s.Read8(a + Addr(i*ElemBytes))
+	}
+	return out
+}
+
+// WriteElems stores the words vs consecutively starting at a.
+func (s *Storage) WriteElems(a Addr, vs []uint64) {
+	for i, v := range vs {
+		s.Write8(a+Addr(i*ElemBytes), v)
+	}
+}
+
+// Allocator hands out non-overlapping address ranges. Workload builders
+// use one Allocator per program so buffers never alias.
+type Allocator struct {
+	next Addr
+}
+
+// NewAllocator returns an allocator starting at a non-zero base so that
+// address 0 stays invalid (useful for catching uninitialized
+// descriptors).
+func NewAllocator() *Allocator { return &Allocator{next: pageBytes} }
+
+// Alloc reserves n bytes aligned to a 64-byte line and returns the base.
+func (al *Allocator) Alloc(n int) Addr {
+	const align = 64
+	base := (al.next + align - 1) &^ Addr(align-1)
+	al.next = base + Addr(n)
+	return base
+}
+
+// AllocElems reserves room for n 64-bit elements.
+func (al *Allocator) AllocElems(n int) Addr { return al.Alloc(n * ElemBytes) }

@@ -1,0 +1,351 @@
+// Package noc models the accelerator's on-chip network: a 2-D mesh with
+// dimension-order (X-Y) routing, per-link serialization at flit
+// granularity, bounded router buffering with head-of-line blocking, and
+// hardware multicast (a message carries a destination bitmask and is
+// replicated at the router where its routes diverge — tree multicast).
+//
+// Messages move at virtual-cut-through granularity: a message occupies
+// each link for ceil(bytes/flitBytes) cycles and arrives at the next
+// router after the link latency. Ejection queues are unbounded; traffic
+// sources in this machine are self-throttled (bounded outstanding
+// requests), which together with X-Y routing keeps the network
+// deadlock-free.
+package noc
+
+import (
+	"fmt"
+	"math"
+
+	"taskstream/internal/config"
+	"taskstream/internal/sim"
+)
+
+// Kind tags the protocol class of a message; upper layers dispatch on it.
+type Kind uint8
+
+// Message kinds used by the machine.
+const (
+	// KindMemReq is a lane→memory read/write stream request.
+	KindMemReq Kind = iota
+	// KindMemResp is a memory→lane(s) data line; may be multicast.
+	KindMemResp
+	// KindForward is producer→consumer task-stream data.
+	KindForward
+	// KindSpawn is a lane→coordinator new-task announcement.
+	KindSpawn
+	// KindCtl is small control traffic (completion, credit, locate).
+	KindCtl
+)
+
+// HeaderBytes is the per-message header overhead added to payload size.
+const HeaderBytes = 8
+
+// MaxNodes bounds the mesh size; destination sets are 64-bit masks.
+const MaxNodes = 64
+
+// Message is one network transfer. Body is opaque to the network.
+type Message struct {
+	Kind  Kind
+	Src   int
+	Dests uint64 // bitmask of destination node ids
+	Bytes int    // payload bytes (header added internally)
+	ID    uint64
+	Body  any
+}
+
+// DestMask returns the bitmask for a single node.
+func DestMask(node int) uint64 { return 1 << uint(node) }
+
+// link is one unidirectional mesh link plus its transmit queue.
+type link struct {
+	q         *sim.Queue[Message]
+	busyUntil sim.Cycle
+	inflight  *sim.Pipe[Message]
+	blocked   *Message // head-of-line message that could not route on
+	flits     int64
+}
+
+const (
+	dirE = iota
+	dirW
+	dirN
+	dirS
+	numDirs
+)
+
+// Mesh is the network fabric.
+type Mesh struct {
+	cfg        config.NoC
+	nodes      int
+	cols, rows int
+	// out[n][d] is node n's outgoing link in direction d.
+	out [][numDirs]*link
+	// inject[n] is node n's local injection queue.
+	inject []*sim.Queue[Message]
+	// eject[n] is node n's (unbounded) delivery queue.
+	eject [][]Message
+
+	// Stats.
+	MsgsSent   int64
+	FlitCycles int64
+	Replicas   int64 // extra copies created by multicast branching
+}
+
+// NewMesh builds a mesh for the given node count. Node ids 0..n-1 are
+// laid out row-major on a near-square grid.
+func NewMesh(cfg config.NoC, nodes int) *Mesh {
+	if nodes <= 0 || nodes > MaxNodes {
+		panic(fmt.Sprintf("noc: node count %d out of range 1..%d", nodes, MaxNodes))
+	}
+	cols := int(math.Ceil(math.Sqrt(float64(nodes))))
+	rows := (nodes + cols - 1) / cols
+	m := &Mesh{cfg: cfg, nodes: nodes, cols: cols, rows: rows}
+	m.out = make([][numDirs]*link, nodes)
+	m.inject = make([]*sim.Queue[Message], nodes)
+	m.eject = make([][]Message, nodes)
+	for n := 0; n < nodes; n++ {
+		for d := 0; d < numDirs; d++ {
+			if m.neighbor(n, d) >= 0 {
+				m.out[n][d] = &link{
+					q:        sim.NewQueue[Message](cfg.VCDepth),
+					inflight: sim.NewPipe[Message](sim.Cycle(cfg.LinkLatency)),
+				}
+			}
+		}
+		m.inject[n] = sim.NewQueue[Message](cfg.VCDepth)
+	}
+	return m
+}
+
+// Nodes returns the node count.
+func (m *Mesh) Nodes() int { return m.nodes }
+
+func (m *Mesh) coord(n int) (x, y int) { return n % m.cols, n / m.cols }
+
+// neighbor returns the node in direction d from n, or -1 at the edge or
+// where the (ragged) last row has no node.
+func (m *Mesh) neighbor(n, d int) int {
+	x, y := m.coord(n)
+	switch d {
+	case dirE:
+		x++
+	case dirW:
+		x--
+	case dirN:
+		y--
+	case dirS:
+		y++
+	}
+	if x < 0 || x >= m.cols || y < 0 || y >= m.rows {
+		return -1
+	}
+	nb := y*m.cols + x
+	if nb >= m.nodes {
+		return -1
+	}
+	return nb
+}
+
+// routeDir returns the X-Y direction from cur toward dest (-1 if
+// equal). On a ragged mesh the last row may be partial; when the X step
+// would enter a missing node, the route detours north first (the rows
+// above the ragged row are always full, so Y-then-X reaches any node).
+func (m *Mesh) routeDir(cur, dest int) int {
+	cx, cy := m.coord(cur)
+	dx, dy := m.coord(dest)
+	var dir int
+	switch {
+	case dx > cx:
+		dir = dirE
+	case dx < cx:
+		dir = dirW
+	case dy > cy:
+		return dirS
+	case dy < cy:
+		return dirN
+	default:
+		return -1
+	}
+	if m.neighbor(cur, dir) < 0 {
+		return dirN
+	}
+	return dir
+}
+
+// TryInject offers a message to node src's injection port, reporting
+// false under backpressure. Dests must be a non-empty subset of nodes.
+func (m *Mesh) TryInject(msg Message) bool {
+	if msg.Dests == 0 {
+		panic("noc: message with empty destination set")
+	}
+	if msg.Dests>>uint(m.nodes) != 0 {
+		panic(fmt.Sprintf("noc: destinations %#x outside %d-node mesh", msg.Dests, m.nodes))
+	}
+	if !m.inject[msg.Src].Push(msg) {
+		return false
+	}
+	m.MsgsSent++
+	return true
+}
+
+// Pop removes the next delivered message at node n, if any.
+func (m *Mesh) Pop(n int) (Message, bool) {
+	if len(m.eject[n]) == 0 {
+		return Message{}, false
+	}
+	msg := m.eject[n][0]
+	m.eject[n] = m.eject[n][1:]
+	return msg, true
+}
+
+// serCycles is the link occupancy of one message.
+func (m *Mesh) serCycles(msg Message) sim.Cycle {
+	fl := (msg.Bytes + HeaderBytes + m.cfg.FlitBytes - 1) / m.cfg.FlitBytes
+	if fl < 1 {
+		fl = 1
+	}
+	return sim.Cycle(fl)
+}
+
+// route forwards msg from router n: splits the destination set by next
+// hop, ejects the local share, and pushes copies onto out-links. It is
+// all-or-nothing: if any needed out-link queue is full, nothing moves
+// and route reports false.
+func (m *Mesh) route(n int, msg Message) bool {
+	var perDir [numDirs]uint64
+	var local uint64
+	rest := msg.Dests
+	for rest != 0 {
+		d := trailingNode(rest)
+		rest &^= 1 << uint(d)
+		dir := m.routeDir(n, d)
+		if dir < 0 {
+			local |= 1 << uint(d)
+		} else {
+			perDir[dir] |= 1 << uint(d)
+		}
+	}
+	// Check capacity first (atomic forwarding).
+	for dir, mask := range perDir {
+		if mask != 0 && m.out[n][dir].q.Full() {
+			return false
+		}
+	}
+	branches := 0
+	for dir, mask := range perDir {
+		if mask == 0 {
+			continue
+		}
+		cp := msg
+		cp.Dests = mask
+		m.out[n][dir].q.Push(cp)
+		branches++
+	}
+	if local != 0 {
+		cp := msg
+		cp.Dests = local
+		m.eject[n] = append(m.eject[n], cp)
+		branches++
+	}
+	if branches > 1 {
+		m.Replicas += int64(branches - 1)
+	}
+	return true
+}
+
+// Tick advances the network one cycle: deliver matured arrivals into
+// routers, then start new link transmissions.
+func (m *Mesh) Tick(now sim.Cycle) {
+	// Phase A: routing. For each node, retry blocked heads, then route
+	// newly arrived messages, then drain the injection port.
+	for n := 0; n < m.nodes; n++ {
+		for d := 0; d < numDirs; d++ {
+			// The in-link from direction d is the neighbor's out-link
+			// pointing back at us.
+			nb := m.neighbor(n, d)
+			if nb < 0 {
+				continue
+			}
+			l := m.out[nb][opposite(d)]
+			if l.blocked != nil {
+				if m.route(n, *l.blocked) {
+					l.blocked = nil
+				}
+				continue // head-of-line blocking: nothing else this cycle
+			}
+			if msg, ok := l.inflight.Recv(now); ok {
+				if !m.route(n, msg) {
+					l.blocked = &msg
+				}
+			}
+		}
+		// Local injection (one message per cycle).
+		if msg, ok := m.inject[n].Peek(); ok {
+			if m.route(n, msg) {
+				m.inject[n].Pop()
+			}
+		}
+	}
+	// Phase B: link transmission.
+	for n := 0; n < m.nodes; n++ {
+		for d := 0; d < numDirs; d++ {
+			l := m.out[n][d]
+			if l == nil || now < l.busyUntil {
+				continue
+			}
+			msg, ok := l.q.Pop()
+			if !ok {
+				continue
+			}
+			ser := m.serCycles(msg)
+			l.busyUntil = now + ser
+			l.flits += int64(ser)
+			m.FlitCycles += int64(ser)
+			l.inflight.SendAt(now+ser+sim.Cycle(m.cfg.LinkLatency), msg)
+		}
+	}
+}
+
+// Idle reports whether no message is buffered or in flight anywhere.
+// Ejection queues count: a message is in flight until its consumer pops
+// it.
+func (m *Mesh) Idle() bool {
+	for n := 0; n < m.nodes; n++ {
+		if !m.inject[n].Empty() || len(m.eject[n]) > 0 {
+			return false
+		}
+		for d := 0; d < numDirs; d++ {
+			l := m.out[n][d]
+			if l == nil {
+				continue
+			}
+			if !l.q.Empty() || !l.inflight.Empty() || l.blocked != nil {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func opposite(d int) int {
+	switch d {
+	case dirE:
+		return dirW
+	case dirW:
+		return dirE
+	case dirN:
+		return dirS
+	default:
+		return dirN
+	}
+}
+
+// trailingNode returns the index of the lowest set bit.
+func trailingNode(mask uint64) int {
+	n := 0
+	for mask&1 == 0 {
+		mask >>= 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,114 @@
+package proto
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTopologyMapping(t *testing.T) {
+	tp := Topology{Lanes: 8, Channels: 4}
+	if tp.Nodes() != 12 {
+		t.Fatalf("Nodes = %d, want 12", tp.Nodes())
+	}
+	// Every lane and channel maps to a distinct node in range.
+	seen := map[int]string{}
+	for i := 0; i < tp.Lanes; i++ {
+		n := tp.LaneNode(i)
+		if n < 0 || n >= tp.Nodes() {
+			t.Fatalf("lane %d node %d out of range", i, n)
+		}
+		if prev, dup := seen[n]; dup {
+			t.Fatalf("node %d assigned twice (%s and lane%d)", n, prev, i)
+		}
+		seen[n] = "lane"
+	}
+	for c := 0; c < tp.Channels; c++ {
+		n := tp.MemNode(c)
+		if n < 0 || n >= tp.Nodes() {
+			t.Fatalf("channel %d node %d out of range", c, n)
+		}
+		if prev, dup := seen[n]; dup {
+			t.Fatalf("node %d assigned twice (%s and ch%d)", n, prev, c)
+		}
+		seen[n] = "mem"
+	}
+	if len(seen) != tp.Nodes() {
+		t.Fatalf("mapping covers %d of %d nodes", len(seen), tp.Nodes())
+	}
+	// Controllers are spread: not all in the last Channels ids.
+	clustered := true
+	for c := 0; c < tp.Channels; c++ {
+		if tp.MemNode(c) < tp.Lanes {
+			clustered = false
+		}
+	}
+	if clustered {
+		t.Fatal("memory controllers must be interleaved, not clustered at the end")
+	}
+}
+
+func TestTopologyMappingProperty(t *testing.T) {
+	for lanes := 1; lanes <= 32; lanes *= 2 {
+		for ch := 1; ch <= 8; ch *= 2 {
+			tp := Topology{Lanes: lanes, Channels: ch}
+			seen := map[int]bool{}
+			for i := 0; i < lanes; i++ {
+				seen[tp.LaneNode(i)] = true
+			}
+			for c := 0; c < ch; c++ {
+				n := tp.MemNode(c)
+				if seen[n] {
+					t.Fatalf("lanes=%d ch=%d: node %d double-assigned", lanes, ch, n)
+				}
+				seen[n] = true
+			}
+			if len(seen) != tp.Nodes() {
+				t.Fatalf("lanes=%d ch=%d: %d of %d nodes covered", lanes, ch, len(seen), tp.Nodes())
+			}
+		}
+	}
+}
+
+func TestTopologyPanics(t *testing.T) {
+	tp := Topology{Lanes: 2, Channels: 1}
+	for _, f := range []func(){
+		func() { tp.LaneNode(2) },
+		func() { tp.LaneNode(-1) },
+		func() { tp.MemNode(1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("want panic for out-of-range node query")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestReqIDRoundTrip(t *testing.T) {
+	f := func(lane uint8, write bool, port uint8, seq uint32) bool {
+		id := MakeReqID(int(lane), write, int(port), int64(seq))
+		l, w, p, s := SplitReqID(id)
+		return l == int(lane) && w == write && p == int(port) && s == int64(seq)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReqIDDistinct(t *testing.T) {
+	a := MakeReqID(1, false, 2, 3)
+	b := MakeReqID(1, true, 2, 3)
+	c := MakeReqID(2, false, 2, 3)
+	d := MakeReqID(1, false, 3, 3)
+	e := MakeReqID(1, false, 2, 4)
+	seen := map[uint64]bool{}
+	for _, id := range []uint64{a, b, c, d, e} {
+		if seen[id] {
+			t.Fatalf("collision among distinct requests: %#x", id)
+		}
+		seen[id] = true
+	}
+}

@@ -1,0 +1,76 @@
+package sim
+
+import "container/heap"
+
+// Pipe models a fixed-latency, unbounded-in-flight delivery channel:
+// items pushed at cycle c become visible to the consumer at cycle
+// c+latency. DRAM responses and wire delays use it. Delivery order for
+// items that mature on the same cycle is insertion order, keeping runs
+// deterministic.
+type Pipe[T any] struct {
+	latency Cycle
+	h       pipeHeap[T]
+	seq     int64
+}
+
+type pipeItem[T any] struct {
+	at  Cycle
+	seq int64
+	v   T
+}
+
+type pipeHeap[T any] []pipeItem[T]
+
+func (h pipeHeap[T]) Len() int { return len(h) }
+func (h pipeHeap[T]) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h pipeHeap[T]) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *pipeHeap[T]) Push(x any)   { *h = append(*h, x.(pipeItem[T])) }
+func (h *pipeHeap[T]) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// NewPipe returns a pipe with the given delivery latency in cycles.
+// Latency may be zero (same-cycle visibility).
+func NewPipe[T any](latency Cycle) *Pipe[T] {
+	if latency < 0 {
+		panic("sim: negative pipe latency")
+	}
+	return &Pipe[T]{latency: latency}
+}
+
+// Send schedules v for delivery at now+latency.
+func (p *Pipe[T]) Send(now Cycle, v T) {
+	heap.Push(&p.h, pipeItem[T]{at: now + p.latency, seq: p.seq, v: v})
+	p.seq++
+}
+
+// SendAt schedules v for delivery at the explicit cycle at, which must
+// not be in the past relative to the caller's now.
+func (p *Pipe[T]) SendAt(at Cycle, v T) {
+	heap.Push(&p.h, pipeItem[T]{at: at, seq: p.seq, v: v})
+	p.seq++
+}
+
+// Recv pops the oldest item whose delivery time has arrived.
+func (p *Pipe[T]) Recv(now Cycle) (v T, ok bool) {
+	if len(p.h) == 0 || p.h[0].at > now {
+		return v, false
+	}
+	it := heap.Pop(&p.h).(pipeItem[T])
+	return it.v, true
+}
+
+// Len returns the number of in-flight items.
+func (p *Pipe[T]) Len() int { return len(p.h) }
+
+// Empty reports whether nothing is in flight.
+func (p *Pipe[T]) Empty() bool { return len(p.h) == 0 }

@@ -1,0 +1,119 @@
+// Package sim provides the deterministic cycle-level simulation kernel
+// used by every hardware model in the repository.
+//
+// The kernel is intentionally simple: a machine is a fixed, ordered list
+// of Tickers. Each simulated cycle the engine calls Tick on every
+// component in registration order. All cross-component communication
+// happens through bounded queues and latency pipes from this package, so
+// a run is bit-deterministic: identical inputs produce identical cycle
+// counts on every platform.
+//
+// Single-phase ticking means registration order is part of the machine
+// definition. Models in this repository always register components in
+// a fixed architectural order (memory, NoC, lanes by index) and
+// communicate only through Queue/Pipe, which decouple producer and
+// consumer by at least one cycle of visibility where it matters.
+package sim
+
+import "fmt"
+
+// Cycle is a point in simulated time, measured in clock cycles from
+// machine reset (cycle 0 is the first executed cycle).
+type Cycle int64
+
+// Ticker is a hardware component advanced once per simulated cycle.
+type Ticker interface {
+	// Tick advances the component by one cycle. now is the cycle being
+	// executed.
+	Tick(now Cycle)
+}
+
+// Idler is implemented by components that can report quiescence. The
+// engine stops when every registered Idler reports Idle and the run's
+// Done predicate (if any) holds.
+type Idler interface {
+	// Idle reports whether the component has no pending work: empty
+	// queues, no in-flight requests, no buffered state awaiting drain.
+	Idle() bool
+}
+
+// Engine drives a fixed set of components through simulated time.
+type Engine struct {
+	tickers []Ticker
+	idlers  []Idler
+	names   []string
+	now     Cycle
+	// MaxCycles aborts a run that fails to quiesce; a safety net for
+	// model bugs (deadlocked credit loops and the like). Zero means the
+	// DefaultMaxCycles limit.
+	MaxCycles Cycle
+}
+
+// DefaultMaxCycles bounds runs whose Engine.MaxCycles is unset.
+const DefaultMaxCycles Cycle = 2_000_000_000
+
+// NewEngine returns an empty engine at cycle 0.
+func NewEngine() *Engine { return &Engine{} }
+
+// Register appends a component to the tick order. The name is used in
+// deadlock diagnostics. If the component implements Idler it also
+// participates in quiescence detection.
+func (e *Engine) Register(name string, t Ticker) {
+	e.tickers = append(e.tickers, t)
+	e.names = append(e.names, name)
+	if id, ok := t.(Idler); ok {
+		e.idlers = append(e.idlers, id)
+	}
+}
+
+// Now returns the current cycle (the number of fully executed cycles).
+func (e *Engine) Now() Cycle { return e.now }
+
+// Step executes exactly one cycle.
+func (e *Engine) Step() {
+	for _, t := range e.tickers {
+		t.Tick(e.now)
+	}
+	e.now++
+}
+
+// quiescent reports whether every Idler is idle.
+func (e *Engine) quiescent() bool {
+	for _, id := range e.idlers {
+		if !id.Idle() {
+			return false
+		}
+	}
+	return true
+}
+
+// Run executes cycles until done() returns true and all components are
+// idle, returning the total executed cycles. done may be nil, in which
+// case only quiescence terminates the run. Run returns an error if the
+// cycle limit is exceeded, identifying the non-idle components.
+func (e *Engine) Run(done func() bool) (Cycle, error) {
+	limit := e.MaxCycles
+	if limit <= 0 {
+		limit = DefaultMaxCycles
+	}
+	for {
+		if (done == nil || done()) && e.quiescent() {
+			return e.now, nil
+		}
+		if e.now >= limit {
+			return e.now, fmt.Errorf("sim: cycle limit %d exceeded; busy components: %v", limit, e.busyNames())
+		}
+		e.Step()
+	}
+}
+
+// busyNames lists registered names of components that are not idle.
+func (e *Engine) busyNames() []string {
+	var busy []string
+	for i, t := range e.tickers {
+		if id, ok := t.(Idler); ok && !id.Idle() {
+			busy = append(busy, e.names[i])
+		}
+	}
+	return busy
+}

@@ -1,0 +1,195 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetOrderAndValues(t *testing.T) {
+	s := NewSet()
+	s.Add("b", 2)
+	s.Add("a", 1)
+	s.Add("b", 3)
+	if got := s.Get("b"); got != 5 {
+		t.Fatalf("b = %d, want 5", got)
+	}
+	names := s.Names()
+	if len(names) != 2 || names[0] != "b" || names[1] != "a" {
+		t.Fatalf("names = %v, want [b a] (first-use order)", names)
+	}
+	s.SetVal("a", 100)
+	if s.Get("a") != 100 {
+		t.Fatalf("a = %d, want 100", s.Get("a"))
+	}
+}
+
+func TestSetMerge(t *testing.T) {
+	a, b := NewSet(), NewSet()
+	a.Add("x", 1)
+	b.Add("x", 2)
+	b.Add("y", 3)
+	a.Merge(b)
+	if a.Get("x") != 3 || a.Get("y") != 3 {
+		t.Fatalf("merge: x=%d y=%d, want 3 3", a.Get("x"), a.Get("y"))
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int64{4, 1, 9, 4} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 || h.Sum() != 18 {
+		t.Fatalf("count=%d sum=%d, want 4 18", h.Count(), h.Sum())
+	}
+	if h.Mean() != 4.5 {
+		t.Fatalf("mean = %v, want 4.5", h.Mean())
+	}
+	if h.Min() != 1 || h.Max() != 9 {
+		t.Fatalf("min/max = %d/%d, want 1/9", h.Min(), h.Max())
+	}
+	// population stddev of {4,1,9,4}: mean 4.5, squared devs .25+12.25+20.25+.25=33 → sqrt(8.25)
+	want := math.Sqrt(8.25)
+	if math.Abs(h.Stddev()-want) > 1e-12 {
+		t.Fatalf("stddev = %v, want %v", h.Stddev(), want)
+	}
+}
+
+func TestHistogramPercentile(t *testing.T) {
+	h := NewHistogram()
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i)
+	}
+	cases := []struct {
+		p    float64
+		want int64
+	}{{0, 1}, {1, 1}, {50, 50}, {99, 99}, {100, 100}}
+	for _, c := range cases {
+		if got := h.Percentile(c.p); got != c.want {
+			t.Errorf("P%v = %d, want %d", c.p, got, c.want)
+		}
+	}
+	// Observing after a percentile query must still work (re-sort).
+	h.Observe(1000)
+	if got := h.Percentile(100); got != 1000 {
+		t.Fatalf("P100 after new observation = %d, want 1000", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Mean() != 0 || h.Max() != 0 || h.Min() != 0 || h.Stddev() != 0 || h.CV() != 0 || h.Percentile(50) != 0 {
+		t.Fatal("empty histogram should return zeros everywhere")
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	if got := Imbalance([]int64{10, 10, 10, 10}); got != 1.0 {
+		t.Fatalf("balanced imbalance = %v, want 1.0", got)
+	}
+	if got := Imbalance([]int64{40, 0, 0, 0}); got != 4.0 {
+		t.Fatalf("worst-case imbalance = %v, want 4.0", got)
+	}
+	if got := Imbalance(nil); got != 0 {
+		t.Fatalf("nil imbalance = %v, want 0", got)
+	}
+	if got := Imbalance([]int64{0, 0}); got != 0 {
+		t.Fatalf("all-zero imbalance = %v, want 0", got)
+	}
+}
+
+func TestImbalanceProperty(t *testing.T) {
+	// Property: imbalance is always ≥ 1 for nonzero work and ≤ worker count.
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		w := make([]int64, len(raw))
+		var sum int64
+		for i, v := range raw {
+			w[i] = int64(v)
+			sum += int64(v)
+		}
+		im := Imbalance(w)
+		if sum == 0 {
+			return im == 0
+		}
+		return im >= 1.0-1e-9 && im <= float64(len(w))+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if got := Geomean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("geomean(2,8) = %v, want 4", got)
+	}
+	if got := Geomean([]float64{3, 3, 3}); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("geomean(3,3,3) = %v, want 3", got)
+	}
+	if got := Geomean(nil); got != 0 {
+		t.Fatalf("geomean(nil) = %v, want 0", got)
+	}
+	// Non-positive values are skipped rather than poisoning the result.
+	if got := Geomean([]float64{0, -1, 4}); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("geomean with junk = %v, want 4", got)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(200, 100); got != 2.0 {
+		t.Fatalf("speedup = %v, want 2.0", got)
+	}
+	if got := Speedup(200, 0); got != 0 {
+		t.Fatalf("speedup w/ zero denominator = %v, want 0", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("demo", "workload", "cycles", "speedup")
+	tb.AddRow("spmv", "1234", "2.10x")
+	tb.AddRow("bfs", "99", "3.00x")
+	out := tb.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+	// All data lines align: same column start for "cycles" numbers.
+	if !strings.Contains(lines[1], "workload") || !strings.Contains(lines[3], "spmv") {
+		t.Fatalf("unexpected layout:\n%s", out)
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d, want 2", tb.NumRows())
+	}
+}
+
+func TestTableRowTooLongPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for oversized row")
+		}
+	}()
+	tb := NewTable("x", "a")
+	tb.AddRow("1", "2")
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.234) != "1.23" || Fx(2.5) != "2.50x" || I(7) != "7" || Pct(0.125) != "12.5%" {
+		t.Fatal("formatter output changed")
+	}
+	cases := []struct {
+		v    int64
+		want string
+	}{{512, "512B"}, {2048, "2.00KiB"}, {3 << 20, "3.00MiB"}, {5 << 30, "5.00GiB"}}
+	for _, c := range cases {
+		if got := Bytes(c.v); got != c.want {
+			t.Errorf("Bytes(%d) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}

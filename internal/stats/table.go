@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table renders aligned plain-text tables for experiment output. Cells
+// are strings; callers format numbers with the helpers below so that
+// every experiment table in the repository reads the same way.
+type Table struct {
+	title  string
+	header []string
+	rows   [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{title: title, header: header}
+}
+
+// AddRow appends a row. Short rows are padded with empty cells; long
+// rows panic, as that is always a harness bug.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.header) {
+		panic(fmt.Sprintf("stats: row has %d cells, table has %d columns", len(cells), len(t.header)))
+	}
+	row := make([]string, len(t.header))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// String renders the table with a title line, a header, a rule, and
+// aligned columns (left-aligned first column, right-aligned the rest —
+// the first column is a label and the rest are nearly always numeric).
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i == 0 {
+				fmt.Fprintf(&b, "%-*s", widths[i], c)
+			} else {
+				fmt.Fprintf(&b, "%*s", widths[i], c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	total := 0
+	for i, w := range widths {
+		if i > 0 {
+			total += 2
+		}
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// F formats a float with two decimals, the standard numeric cell format.
+func F(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// Fx formats a ratio as "N.NNx".
+func Fx(v float64) string { return fmt.Sprintf("%.2fx", v) }
+
+// I formats an integer cell.
+func I(v int64) string { return fmt.Sprintf("%d", v) }
+
+// Pct formats a fraction (0..1) as a percentage with one decimal.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+
+// Bytes formats a byte count with a binary-unit suffix.
+func Bytes(v int64) string {
+	switch {
+	case v >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(v)/(1<<30))
+	case v >= 1<<20:
+		return fmt.Sprintf("%.2fMiB", float64(v)/(1<<20))
+	case v >= 1<<10:
+		return fmt.Sprintf("%.2fKiB", float64(v)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", v)
+	}
+}

@@ -1,0 +1,166 @@
+// Package stream implements the per-lane stream engines of the
+// accelerator: the hardware that turns stream descriptors into timed
+// memory traffic and feeds the fabric's vector ports.
+//
+// The repository-wide simulation discipline (DESIGN.md §3) splits
+// function from timing: kernels are evaluated eagerly against
+// mem.Storage when a task is dispatched, so the engines here move
+// element *counts* with correct addresses, sizes, orders, and
+// contention — never data values.
+package stream
+
+import (
+	"taskstream/internal/mem"
+)
+
+// SrcKind identifies where a read stream's elements come from.
+type SrcKind uint8
+
+// Read-stream sources.
+const (
+	// SrcNone marks an unused port.
+	SrcNone SrcKind = iota
+	// SrcDRAM streams lines from main memory (linear, affine, or
+	// gather — the shape is captured by the element address list).
+	SrcDRAM
+	// SrcSpad streams elements from the lane-private scratchpad.
+	SrcSpad
+	// SrcConst delivers a constant; always available.
+	SrcConst
+	// SrcForward receives elements forwarded from a producer task over
+	// the NoC (pipelined inter-task dependence).
+	SrcForward
+	// SrcMulticast receives lines of a coordinator-managed shared-read
+	// group fetch (inter-task read sharing).
+	SrcMulticast
+)
+
+// DstKind identifies where a write stream's elements go.
+type DstKind uint8
+
+// Write-stream destinations.
+const (
+	// DstNone marks an unused port.
+	DstNone DstKind = iota
+	// DstDRAM coalesces elements into line writes to main memory.
+	DstDRAM
+	// DstSpad writes elements to the lane-private scratchpad.
+	DstSpad
+	// DstForward ships elements to a consumer task's input port.
+	DstForward
+	// DstDiscard drops elements (reductions returned as scalars).
+	DstDiscard
+)
+
+// ReadSetup programs one input port for one task execution.
+type ReadSetup struct {
+	Kind SrcKind
+	// N is the element count the port will deliver.
+	N int
+	// Addrs lists the element addresses in stream order (SrcDRAM,
+	// SrcSpad). Linear streams have consecutive addresses; gathers are
+	// arbitrary.
+	Addrs []mem.Addr
+	// IdxAddrs optionally lists the gather-index element addresses that
+	// gate Addrs: element k of Addrs may be fetched only after index
+	// element k has arrived (SrcDRAM gathers).
+	IdxAddrs []mem.Addr
+	// Group and Lines describe a SrcMulticast membership: the group id
+	// and the expected line count of the group fetch.
+	Group uint64
+	Lines int
+	// HeadSkip is the number of elements in the group fetch's first
+	// line that precede this port's first element (SrcMulticast).
+	HeadSkip int
+}
+
+// WriteSetup programs one output port for one task execution.
+type WriteSetup struct {
+	Kind DstKind
+	// N is the element count the port will produce.
+	N int
+	// Addrs lists the element addresses in stream order (DstDRAM,
+	// DstSpad); always consecutive for DstDRAM.
+	Addrs []mem.Addr
+	// ConsumerLane and ConsumerPort address forwarded elements
+	// (DstForward).
+	ConsumerLane int
+	ConsumerPort int
+	// Gate, when non-nil, holds forwarded shipments until the consumer
+	// task has started on its lane and programmed the receiving port
+	// (set true by the consumer's lane). Nil means always open.
+	Gate *bool
+}
+
+// Span is a run of consecutive stream elements that share one memory
+// line; one Span turns into one line request.
+type Span struct {
+	Line mem.Addr
+	// Elems is the number of stream elements the span covers.
+	Elems int
+	// NeedIdx is the number of gather-index elements that must have
+	// arrived before this span may issue (0 for linear streams).
+	NeedIdx int
+}
+
+// BuildSpans groups an ordered element-address list into line spans.
+// Consecutive elements hitting the same line coalesce; revisiting a
+// line after leaving it creates a new span (no MSHR-style merging
+// across time, a documented simplification).
+func BuildSpans(addrs []mem.Addr, lineBytes int) []Span {
+	var spans []Span
+	for i, a := range addrs {
+		line := mem.LineOf(a, lineBytes)
+		if n := len(spans); n > 0 && spans[n-1].Line == line {
+			spans[n-1].Elems++
+			continue
+		}
+		_ = i
+		spans = append(spans, Span{Line: line, Elems: 1})
+	}
+	return spans
+}
+
+// BuildGatherSpans groups gather addresses into spans and stamps each
+// span with its index-gating requirement: a span covering elements
+// [e0,e1) needs e1 index elements delivered first.
+func BuildGatherSpans(addrs []mem.Addr, lineBytes int) []Span {
+	spans := BuildSpans(addrs, lineBytes)
+	e := 0
+	for i := range spans {
+		e += spans[i].Elems
+		spans[i].NeedIdx = e
+	}
+	return spans
+}
+
+// LinearAddrs returns n consecutive element addresses from base.
+func LinearAddrs(base mem.Addr, n int) []mem.Addr {
+	out := make([]mem.Addr, n)
+	for i := range out {
+		out[i] = base + mem.Addr(i*mem.ElemBytes)
+	}
+	return out
+}
+
+// Affine2DAddrs returns rows×rowLen element addresses with a row pitch
+// of pitch elements (a 2-D affine stream, e.g. a matrix tile).
+func Affine2DAddrs(base mem.Addr, rows, rowLen, pitch int) []mem.Addr {
+	out := make([]mem.Addr, 0, rows*rowLen)
+	for r := 0; r < rows; r++ {
+		rowBase := base + mem.Addr(r*pitch*mem.ElemBytes)
+		for i := 0; i < rowLen; i++ {
+			out = append(out, rowBase+mem.Addr(i*mem.ElemBytes))
+		}
+	}
+	return out
+}
+
+// GatherAddrs returns base+idx*8 for each index.
+func GatherAddrs(base mem.Addr, idxs []uint64) []mem.Addr {
+	out := make([]mem.Addr, len(idxs))
+	for i, ix := range idxs {
+		out[i] = base + mem.Addr(ix*mem.ElemBytes)
+	}
+	return out
+}

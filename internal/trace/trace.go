@@ -1,0 +1,200 @@
+// Package trace records task-lifecycle events from a simulated run —
+// dispatch, start, completion per task — and renders per-lane
+// occupancy timelines. The recorder is optional: a nil *Recorder is
+// safe to use everywhere, costing one predictable branch.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind is a lifecycle event type.
+type Kind uint8
+
+// Event kinds.
+const (
+	// Dispatch: the coordinator assigned the task to a lane.
+	Dispatch Kind = iota
+	// Start: the lane began executing the task.
+	Start
+	// Complete: the task finished (streams drained).
+	Complete
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Dispatch:
+		return "dispatch"
+	case Start:
+		return "start"
+	default:
+		return "complete"
+	}
+}
+
+// Event is one recorded lifecycle transition.
+type Event struct {
+	Cycle int64
+	Kind  Kind
+	Lane  int
+	// TaskKey is the program-assigned task identity; TypeName the task
+	// type.
+	TaskKey  uint64
+	TypeName string
+	Phase    int
+}
+
+// Recorder accumulates events. The zero value is ready to use; a nil
+// recorder ignores all records.
+type Recorder struct {
+	events []Event
+	limit  int
+}
+
+// New returns a recorder bounded to limit events (0 = unbounded).
+func New(limit int) *Recorder { return &Recorder{limit: limit} }
+
+// Record appends an event; nil-safe and limit-respecting.
+func (r *Recorder) Record(ev Event) {
+	if r == nil {
+		return
+	}
+	if r.limit > 0 && len(r.events) >= r.limit {
+		return
+	}
+	r.events = append(r.events, ev)
+}
+
+// Events returns the recorded events in record order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	return append([]Event(nil), r.events...)
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.events)
+}
+
+// TaskSpan is one task's residency on a lane.
+type TaskSpan struct {
+	Lane       int
+	TaskKey    uint64
+	TypeName   string
+	Phase      int
+	Dispatched int64
+	Started    int64
+	Completed  int64
+}
+
+// Spans pairs the lifecycle events per (lane, key, start-order) into
+// residency spans, sorted by start cycle.
+func (r *Recorder) Spans() []TaskSpan {
+	if r == nil {
+		return nil
+	}
+	type slot struct{ span *TaskSpan }
+	open := map[string][]*TaskSpan{} // key → FIFO of spans missing later stages
+	var out []*TaskSpan
+	id := func(lane int, key uint64) string { return fmt.Sprintf("%d/%d", lane, key) }
+	for _, ev := range r.events {
+		switch ev.Kind {
+		case Dispatch:
+			sp := &TaskSpan{Lane: ev.Lane, TaskKey: ev.TaskKey, TypeName: ev.TypeName,
+				Phase: ev.Phase, Dispatched: ev.Cycle, Started: -1, Completed: -1}
+			open[id(ev.Lane, ev.TaskKey)] = append(open[id(ev.Lane, ev.TaskKey)], sp)
+			out = append(out, sp)
+		case Start:
+			q := open[id(ev.Lane, ev.TaskKey)]
+			for _, sp := range q {
+				if sp.Started < 0 {
+					sp.Started = ev.Cycle
+					break
+				}
+			}
+		case Complete:
+			q := open[id(ev.Lane, ev.TaskKey)]
+			for i, sp := range q {
+				if sp.Started >= 0 && sp.Completed < 0 {
+					sp.Completed = ev.Cycle
+					open[id(ev.Lane, ev.TaskKey)] = q[i+1:]
+					break
+				}
+			}
+		}
+	}
+	spans := make([]TaskSpan, len(out))
+	for i, sp := range out {
+		spans[i] = *sp
+	}
+	sort.SliceStable(spans, func(i, j int) bool {
+		if spans[i].Started != spans[j].Started {
+			return spans[i].Started < spans[j].Started
+		}
+		return spans[i].Lane < spans[j].Lane
+	})
+	return spans
+}
+
+// Timeline renders a compact per-lane occupancy chart over width
+// character columns. Each row is a lane; letters index task types.
+func (r *Recorder) Timeline(lanes int, width int) string {
+	spans := r.Spans()
+	if len(spans) == 0 {
+		return "(no trace)\n"
+	}
+	var maxCycle int64
+	for _, sp := range spans {
+		if sp.Completed > maxCycle {
+			maxCycle = sp.Completed
+		}
+	}
+	if maxCycle == 0 {
+		return "(no completed tasks)\n"
+	}
+	rows := make([][]byte, lanes)
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(".", width))
+	}
+	typeLetter := map[string]byte{}
+	nextLetter := byte('A')
+	for _, sp := range spans {
+		if sp.Started < 0 || sp.Completed < 0 || sp.Lane >= lanes {
+			continue
+		}
+		letter, ok := typeLetter[sp.TypeName]
+		if !ok {
+			letter = nextLetter
+			typeLetter[sp.TypeName] = letter
+			if nextLetter < 'Z' {
+				nextLetter++
+			}
+		}
+		from := int(sp.Started * int64(width) / (maxCycle + 1))
+		to := int(sp.Completed * int64(width) / (maxCycle + 1))
+		for c := from; c <= to && c < width; c++ {
+			rows[sp.Lane][c] = letter
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline (%d cycles, %d tasks):\n", maxCycle, len(spans))
+	for i, row := range rows {
+		fmt.Fprintf(&b, "lane %2d |%s|\n", i, row)
+	}
+	var names []string
+	for name := range typeLetter {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&b, "  %c = %s\n", typeLetter[name], name)
+	}
+	return b.String()
+}

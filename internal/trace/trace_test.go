@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(Event{Cycle: 1})
+	if r.Len() != 0 || r.Events() != nil || r.Spans() != nil {
+		t.Fatal("nil recorder must be inert")
+	}
+}
+
+func TestRecordAndEvents(t *testing.T) {
+	r := New(0)
+	r.Record(Event{Cycle: 5, Kind: Dispatch, Lane: 1, TaskKey: 9, TypeName: "copy"})
+	r.Record(Event{Cycle: 7, Kind: Start, Lane: 1, TaskKey: 9, TypeName: "copy"})
+	r.Record(Event{Cycle: 20, Kind: Complete, Lane: 1, TaskKey: 9, TypeName: "copy"})
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	evs := r.Events()
+	if evs[0].Kind != Dispatch || evs[2].Kind != Complete {
+		t.Fatal("event order lost")
+	}
+	if evs[0].Kind.String() != "dispatch" || evs[1].Kind.String() != "start" {
+		t.Fatal("kind names wrong")
+	}
+}
+
+func TestLimit(t *testing.T) {
+	r := New(2)
+	for i := 0; i < 10; i++ {
+		r.Record(Event{Cycle: int64(i)})
+	}
+	if r.Len() != 2 {
+		t.Fatalf("limited recorder holds %d, want 2", r.Len())
+	}
+}
+
+func TestSpansPairing(t *testing.T) {
+	r := New(0)
+	// Two tasks on the same lane, same key reused (spawned twins).
+	r.Record(Event{Cycle: 1, Kind: Dispatch, Lane: 0, TaskKey: 5, TypeName: "a", Phase: 0})
+	r.Record(Event{Cycle: 2, Kind: Start, Lane: 0, TaskKey: 5, TypeName: "a"})
+	r.Record(Event{Cycle: 9, Kind: Complete, Lane: 0, TaskKey: 5, TypeName: "a"})
+	r.Record(Event{Cycle: 10, Kind: Dispatch, Lane: 0, TaskKey: 5, TypeName: "a", Phase: 1})
+	r.Record(Event{Cycle: 12, Kind: Start, Lane: 0, TaskKey: 5, TypeName: "a"})
+	r.Record(Event{Cycle: 30, Kind: Complete, Lane: 0, TaskKey: 5, TypeName: "a"})
+	spans := r.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(spans))
+	}
+	if spans[0].Started != 2 || spans[0].Completed != 9 {
+		t.Fatalf("span0 = %+v", spans[0])
+	}
+	if spans[1].Started != 12 || spans[1].Completed != 30 {
+		t.Fatalf("span1 = %+v", spans[1])
+	}
+	if spans[0].Dispatched != 1 || spans[1].Phase != 1 {
+		t.Fatalf("dispatch metadata lost: %+v", spans)
+	}
+}
+
+func TestTimelineRendering(t *testing.T) {
+	r := New(0)
+	r.Record(Event{Cycle: 0, Kind: Dispatch, Lane: 0, TaskKey: 1, TypeName: "alpha"})
+	r.Record(Event{Cycle: 0, Kind: Start, Lane: 0, TaskKey: 1, TypeName: "alpha"})
+	r.Record(Event{Cycle: 50, Kind: Complete, Lane: 0, TaskKey: 1, TypeName: "alpha"})
+	r.Record(Event{Cycle: 40, Kind: Dispatch, Lane: 1, TaskKey: 2, TypeName: "beta"})
+	r.Record(Event{Cycle: 50, Kind: Start, Lane: 1, TaskKey: 2, TypeName: "beta"})
+	r.Record(Event{Cycle: 100, Kind: Complete, Lane: 1, TaskKey: 2, TypeName: "beta"})
+	out := r.Timeline(2, 40)
+	if !strings.Contains(out, "lane  0") || !strings.Contains(out, "lane  1") {
+		t.Fatalf("missing lanes:\n%s", out)
+	}
+	if !strings.Contains(out, "A = alpha") || !strings.Contains(out, "B = beta") {
+		t.Fatalf("missing legend:\n%s", out)
+	}
+	// Lane 0's bar starts at the left; lane 1's does not.
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[1], "|A") {
+		t.Fatalf("lane 0 should start immediately:\n%s", out)
+	}
+	if strings.Contains(lines[2], "|B") {
+		t.Fatalf("lane 1 should start mid-run:\n%s", out)
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	r := New(0)
+	if !strings.Contains(r.Timeline(2, 10), "no trace") {
+		t.Fatal("empty timeline must say so")
+	}
+}

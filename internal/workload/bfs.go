@@ -1,0 +1,137 @@
+package workload
+
+import (
+	"taskstream/internal/core"
+	"taskstream/internal/mem"
+)
+
+// BFSParams sizes the breadth-first-search workload.
+type BFSParams struct {
+	// Scale gives 2^Scale vertices; AvgDeg edges per vertex on average
+	// (R-MAT: heavily skewed degrees).
+	Scale  int
+	AvgDeg int
+	Seed   uint64
+}
+
+// DefaultBFS returns the reference configuration.
+func DefaultBFS() BFSParams { return BFSParams{Scale: 12, AvgDeg: 8, Seed: 2} }
+
+const bfsUnvisited = ^uint64(0)
+
+// BFS builds level-synchronous breadth-first search: one task per
+// frontier vertex, spawning a child task for every newly discovered
+// neighbor into the next phase (hierarchical dataflow). Degree skew
+// makes frontier work irregular; the dynamic frontier makes static
+// partitioning wait on stragglers at every level barrier.
+func BFS(p BFSParams) *Workload {
+	rng := NewRNG(p.Seed)
+	g := RMAT(rng, p.Scale, p.AvgDeg)
+	st := mem.NewStorage()
+	al := mem.NewAllocator()
+
+	adjB := al.AllocElems(g.Edges())
+	lvlB := al.AllocElems(g.N)
+	for i, c := range g.Col {
+		st.Write8(adjB+mem.Addr(i*8), uint64(c))
+	}
+	for v := 0; v < g.N; v++ {
+		st.Write8(lvlB+mem.Addr(v*8), bfsUnvisited)
+	}
+
+	// Root: the highest-degree vertex, so the traversal covers the
+	// giant component.
+	root := 0
+	for v := 1; v < g.N; v++ {
+		if g.Degree(v) > g.Degree(root) {
+			root = v
+		}
+	}
+
+	// Reference BFS fixes the phase count.
+	refLevel := make([]uint64, g.N)
+	for i := range refLevel {
+		refLevel[i] = bfsUnvisited
+	}
+	refLevel[root] = 0
+	frontier := []int32{int32(root)}
+	levels := 0
+	for len(frontier) > 0 {
+		levels++
+		var next []int32
+		for _, u := range frontier {
+			for _, w := range g.Neighbors(int(u)) {
+				if refLevel[w] == bfsUnvisited {
+					refLevel[w] = uint64(levels)
+					next = append(next, w)
+				}
+			}
+		}
+		frontier = next
+	}
+
+	numPhases := levels + 1
+
+	var mkTask func(v int, level int) core.Task
+	tt := &core.TaskType{
+		Name: "bfs-visit",
+		DFG:  visitDFG("bfs"),
+		Kernel: func(t *core.Task, in [][]uint64, s *mem.Storage) core.Result {
+			level := t.Scalars[1]
+			var spawns []core.Spawn
+			pw := 4
+			for k, w := range in[0] {
+				if s.Read8(lvlB+mem.Addr(w*8)) == bfsUnvisited {
+					s.Write8(lvlB+mem.Addr(w*8), level+1)
+					spawns = append(spawns, core.Spawn{
+						AtFiring: k / pw,
+						Task:     mkTask(int(w), int(level)+1),
+					})
+				}
+			}
+			return core.Result{Out: [][]uint64{nil, in[0]}, Spawns: spawns}
+		},
+	}
+
+	mkTask = func(v, level int) core.Task {
+		deg := g.Degree(v)
+		off := int(g.RowPtr[v])
+		return core.Task{
+			Type:     0,
+			Phase:    level,
+			Key:      uint64(v),
+			Scalars:  []uint64{uint64(v), uint64(level)},
+			Ins:      []core.InArg{{Kind: core.ArgDRAMLinear, Base: adjB + mem.Addr(off*8), N: deg}},
+			Outs:     []core.OutArg{{}, {Kind: core.OutDiscard, N: deg}},
+			WorkHint: int64(deg) + 1,
+		}
+	}
+
+	st.Write8(lvlB+mem.Addr(root*8), 0)
+	tasks := []core.Task{mkTask(root, 0)}
+
+	sizes := make([]int, 0, g.N)
+	for v := 0; v < g.N; v++ {
+		if refLevel[v] != bfsUnvisited {
+			sizes = append(sizes, g.Degree(v)+1)
+		}
+	}
+
+	verify := func() error {
+		for v := 0; v < g.N; v++ {
+			if got := st.Read8(lvlB + mem.Addr(v*8)); got != refLevel[v] {
+				return errf("bfs: level[%d] = %d, want %d", v, got, refLevel[v])
+			}
+		}
+		return nil
+	}
+
+	return &Workload{
+		Name:         "bfs",
+		Prog:         &core.Program{Name: "bfs", Types: []*core.TaskType{tt}, NumPhases: numPhases, Tasks: tasks},
+		Storage:      st,
+		Verify:       verify,
+		TaskSizes:    sizesHistogram(sizes),
+		BytesTouched: int64(g.Edges()*8 + g.N*8),
+	}
+}

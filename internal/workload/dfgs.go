@@ -1,0 +1,91 @@
+package workload
+
+import "taskstream/internal/fabric"
+
+// The DFGs below are the spatial datapaths the workload task types are
+// compiled to. Their shapes (node counts, depths) drive the fabric
+// mapper's II and latency; their semantics mirror what the kernels
+// compute element-wise (the kernels remain the functional authority —
+// see DESIGN.md §3).
+
+// macDFG: out = acc(in0 * in1) — inner products (spmv, gemm).
+func macDFG(name string) *fabric.DFG {
+	b := fabric.NewBuilder(name, 2, 1)
+	m := b.Add(fabric.OpMul, fabric.InPort(0), fabric.InPort(1))
+	s := b.Add(fabric.OpAcc, m)
+	b.Out(0, s)
+	return b.MustBuild()
+}
+
+// visitDFG: frontier expansion — compare visited flag, select level.
+func visitDFG(name string) *fabric.DFG {
+	b := fabric.NewBuilder(name, 2, 1)
+	unvis := b.Add(fabric.OpCmpEQ, fabric.InPort(0), fabric.InPort(1))
+	lvl := b.Add(fabric.OpAdd, fabric.InPort(1), unvis)
+	sel := b.Add(fabric.OpSelect, unvis, lvl, fabric.InPort(0))
+	b.Out(0, sel)
+	return b.MustBuild()
+}
+
+// hashProbeDFG: hash a key, mask to a slot, compare — join build/probe.
+func hashProbeDFG(name string) *fabric.DFG {
+	b := fabric.NewBuilder(name, 2, 1)
+	h := b.Add(fabric.OpHash, fabric.InPort(0))
+	slot := b.Add(fabric.OpAnd, h, fabric.InPort(1))
+	eq := b.Add(fabric.OpCmpEQ, slot, fabric.InPort(0))
+	sel := b.Add(fabric.OpSelect, eq, fabric.InPort(0), slot)
+	b.Out(0, sel)
+	return b.MustBuild()
+}
+
+// intersectDFG: sorted-list intersection step — compares, advances.
+func intersectDFG(name string) *fabric.DFG {
+	b := fabric.NewBuilder(name, 2, 1)
+	lt := b.Add(fabric.OpCmpLT, fabric.InPort(0), fabric.InPort(1))
+	eq := b.Add(fabric.OpCmpEQ, fabric.InPort(0), fabric.InPort(1))
+	hit := b.Add(fabric.OpAnd, eq, eq)
+	cnt := b.Add(fabric.OpAcc, hit)
+	sel := b.Add(fabric.OpSelect, lt, cnt, hit)
+	b.Out(0, sel)
+	return b.MustBuild()
+}
+
+// mergeDFG: two sorted streams in, min out — mergesort node.
+func mergeDFG(name string) *fabric.DFG {
+	b := fabric.NewBuilder(name, 2, 1)
+	mn := b.Add(fabric.OpMin, fabric.InPort(0), fabric.InPort(1))
+	b.Out(0, mn)
+	return b.MustBuild()
+}
+
+// distDFG: squared-distance accumulation then argmin — kmeans assign.
+func distDFG(name string) *fabric.DFG {
+	b := fabric.NewBuilder(name, 2, 1)
+	d := b.Add(fabric.OpSub, fabric.InPort(0), fabric.InPort(1))
+	sq := b.Add(fabric.OpMul, d, d)
+	acc := b.Add(fabric.OpAcc, sq)
+	best := b.Add(fabric.OpMin, acc, fabric.InPort(1))
+	b.Out(0, best)
+	return b.MustBuild()
+}
+
+// stencilDFG: 5-point weighted sum.
+func stencilDFG(name string) *fabric.DFG {
+	b := fabric.NewBuilder(name, 2, 1)
+	s1 := b.Add(fabric.OpAdd, fabric.InPort(0), fabric.InPort(1))
+	s2 := b.Add(fabric.OpAdd, s1, fabric.InPort(0))
+	s3 := b.Add(fabric.OpAdd, s2, fabric.InPort(1))
+	sh := b.Add(fabric.OpShr, s3, fabric.InPort(1))
+	b.Out(0, sh)
+	return b.MustBuild()
+}
+
+// binDFG: histogram binning — shift to bin, count.
+func binDFG(name string) *fabric.DFG {
+	b := fabric.NewBuilder(name, 1, 1)
+	h := b.Add(fabric.OpHash, fabric.InPort(0))
+	sh := b.Add(fabric.OpShr, h, h)
+	acc := b.Add(fabric.OpAcc, sh)
+	b.Out(0, acc)
+	return b.MustBuild()
+}

@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"taskstream/internal/core"
+	"taskstream/internal/mem"
+)
+
+// GEMMParams sizes the dense matrix-multiply workload.
+type GEMMParams struct {
+	// N is the square matrix dimension; Tile the square tile size.
+	N, Tile int
+	Seed    uint64
+}
+
+// DefaultGEMM returns the reference configuration.
+func DefaultGEMM() GEMMParams { return GEMMParams{N: 128, Tile: 32, Seed: 7} }
+
+// GEMM builds C = A·B with one task per output tile. A row-blocks and
+// B column-blocks (B stored transposed, so both are contiguous) are
+// marked shared: every task in a tile row re-reads the same A block and
+// every task in a tile column the same B block — dense-kernel read
+// sharing that multicast recovers. Work is perfectly regular, so this
+// workload doubles as the "TaskStream must not lose to static on
+// regular code" control.
+func GEMM(p GEMMParams) *Workload {
+	if p.N%p.Tile != 0 {
+		panic("workload: N must be a multiple of Tile")
+	}
+	rng := NewRNG(p.Seed)
+	st := mem.NewStorage()
+	al := mem.NewAllocator()
+
+	n, t := p.N, p.Tile
+	nt := n / t
+	aB := al.AllocElems(n * n)  // row-major A
+	btB := al.AllocElems(n * n) // row-major Bᵀ
+	cB := al.AllocElems(n * n)  // tile-major C
+	spadB := al.AllocElems(4096)
+
+	a := make([]uint64, n*n)
+	bt := make([]uint64, n*n)
+	for i := range a {
+		a[i] = uint64(rng.Intn(64))
+		bt[i] = uint64(rng.Intn(64))
+	}
+	st.WriteElems(aB, a)
+	st.WriteElems(btB, bt)
+
+	tt := &core.TaskType{
+		Name: "gemm-tile",
+		DFG:  macDFG("gemm"),
+		Kernel: func(task *core.Task, in [][]uint64, s *mem.Storage) core.Result {
+			ab, bb := in[0], in[1] // t×n row block of A, t×n row block of Bᵀ
+			out := make([]uint64, t*t)
+			for i := 0; i < t; i++ {
+				for j := 0; j < t; j++ {
+					var sum uint64
+					for k := 0; k < n; k++ {
+						sum += ab[i*n+k] * bb[j*n+k]
+					}
+					out[i*t+j] = sum
+				}
+			}
+			return core.Result{Out: [][]uint64{nil, nil, nil, out}}
+		},
+	}
+
+	var tasks []core.Task
+	sizes := []int{}
+	for ti := 0; ti < nt; ti++ {
+		for tj := 0; tj < nt; tj++ {
+			work := t * t * n / 4 // MACs per task at fabric width 4
+			tasks = append(tasks, core.Task{
+				Type: 0, Key: uint64(ti*nt + tj),
+				Ins: []core.InArg{
+					{Kind: core.ArgDRAMLinear, Base: aB + mem.Addr(ti*t*n*8), N: t * n, Shared: true},
+					{Kind: core.ArgDRAMLinear, Base: btB + mem.Addr(tj*t*n*8), N: t * n, Shared: true},
+					// Accumulator/operand-reuse traffic staged in the
+					// lane scratchpad: t*t*n MACs at fabric width 4.
+					{Kind: core.ArgSpadLinear, Base: spadB, N: work},
+				},
+				Outs: []core.OutArg{{}, {}, {},
+					{Kind: core.OutDRAMLinear, Base: cB + mem.Addr((ti*nt+tj)*t*t*8), N: t * t}},
+				WorkHint: int64(work),
+			})
+			sizes = append(sizes, work)
+		}
+	}
+
+	verify := func() error {
+		for ti := 0; ti < nt; ti++ {
+			for tj := 0; tj < nt; tj++ {
+				base := cB + mem.Addr((ti*nt+tj)*t*t*8)
+				for i := 0; i < t; i++ {
+					for j := 0; j < t; j++ {
+						var want uint64
+						row, col := ti*t+i, tj*t+j
+						for k := 0; k < n; k++ {
+							want += a[row*n+k] * bt[col*n+k]
+						}
+						if got := st.Read8(base + mem.Addr((i*t+j)*8)); got != want {
+							return errf("gemm: C[%d,%d] = %d, want %d", row, col, got, want)
+						}
+					}
+				}
+			}
+		}
+		return nil
+	}
+
+	return &Workload{
+		Name: "gemm",
+		Prog: &core.Program{Name: "gemm", Types: []*core.TaskType{tt},
+			NumPhases: 1, Tasks: tasks},
+		Storage:      st,
+		Verify:       verify,
+		TaskSizes:    sizesHistogram(sizes),
+		BytesTouched: int64(3 * n * n * 8),
+	}
+}

@@ -1,0 +1,326 @@
+// Package workload provides the task-parallel benchmark suite and its
+// synthetic input generators. Each workload constructs a core.Program
+// plus pre-initialized storage, and can verify the machine's results
+// against a plain-Go reference — so every simulated run is checked
+// end to end, under every execution model.
+//
+// Generators are deterministic: a Workload built twice from the same
+// parameters is bit-identical.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"taskstream/internal/core"
+	"taskstream/internal/mem"
+	"taskstream/internal/stats"
+)
+
+// Workload couples a program with its data and its checker.
+type Workload struct {
+	Name    string
+	Prog    *core.Program
+	Storage *mem.Storage
+	// Verify checks the results left in Storage after a run.
+	Verify func() error
+	// TaskSizes holds the per-task work estimates used for
+	// characterization (E1).
+	TaskSizes *stats.Histogram
+	// BytesTouched estimates the unique bytes the workload reads+writes.
+	BytesTouched int64
+}
+
+// RNG is a small deterministic generator (xorshift*), so workloads do
+// not depend on math/rand ordering guarantees across Go versions.
+type RNG struct {
+	s uint64
+}
+
+// NewRNG seeds a generator; seed 0 is remapped to a fixed constant.
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &RNG{s: seed}
+}
+
+// Next returns the next 64-bit value.
+func (r *RNG) Next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545f4914f6cdd1d
+}
+
+// Intn returns a value in [0,n).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("workload: Intn with non-positive n")
+	}
+	return int(r.Next() % uint64(n))
+}
+
+// Float64 returns a value in [0,1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Next()>>11) / float64(1<<53)
+}
+
+// PowerLawSizes draws n sizes from a discrete power-law (Pareto-ish)
+// distribution with the given exponent alpha (>1), minimum size min,
+// capped at max. Smaller alpha = heavier tail = more skew.
+func PowerLawSizes(rng *RNG, n int, alpha float64, min, max int) []int {
+	if alpha <= 1 {
+		panic("workload: power-law alpha must exceed 1")
+	}
+	out := make([]int, n)
+	for i := range out {
+		u := rng.Float64()
+		// Inverse-CDF sampling of a Pareto distribution.
+		v := float64(min) / math.Pow(1-u, 1/(alpha-1))
+		s := int(v)
+		if s < min {
+			s = min
+		}
+		if s > max {
+			s = max
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Zipf draws n keys in [0, universe) with a Zipfian rank distribution
+// of skew s (s=0 is uniform; s≈1 is classic web skew).
+type Zipf struct {
+	rng  *RNG
+	cdf  []float64
+	perm []int
+}
+
+// NewZipf precomputes the distribution.
+func NewZipf(rng *RNG, universe int, s float64) *Zipf {
+	cdf := make([]float64, universe)
+	sum := 0.0
+	for i := 0; i < universe; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	// Random permutation so hot keys are spread over the key space.
+	perm := make([]int, universe)
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := universe - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return &Zipf{rng: rng, cdf: cdf, perm: perm}
+}
+
+// Next draws one key.
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return z.perm[lo]
+}
+
+// Graph is a CSR-format directed graph.
+type Graph struct {
+	N      int
+	RowPtr []int32 // len N+1
+	Col    []int32 // len = edges
+}
+
+// Degree returns vertex v's out-degree.
+func (g *Graph) Degree(v int) int { return int(g.RowPtr[v+1] - g.RowPtr[v]) }
+
+// Edges returns the edge count.
+func (g *Graph) Edges() int { return len(g.Col) }
+
+// Neighbors returns v's adjacency slice.
+func (g *Graph) Neighbors(v int) []int32 {
+	return g.Col[g.RowPtr[v]:g.RowPtr[v+1]]
+}
+
+// RMAT generates a scale-free graph with n = 2^scale vertices and
+// roughly avgDeg*n edges using the R-MAT recursive quadrant model
+// (a=0.57, b=c=0.19), deduplicated, self-loops removed, adjacency
+// sorted. The result's degree distribution is heavily skewed — the
+// irregularity the paper's workloads exhibit.
+func RMAT(rng *RNG, scale int, avgDeg int) *Graph {
+	n := 1 << scale
+	target := n * avgDeg
+	type edge struct{ u, v int32 }
+	seen := make(map[int64]bool, target)
+	edges := make([]edge, 0, target)
+	const a, b, c = 0.57, 0.19, 0.19
+	for len(edges) < target {
+		u, v := 0, 0
+		for bit := scale - 1; bit >= 0; bit-- {
+			r := rng.Float64()
+			switch {
+			case r < a:
+			case r < a+b:
+				v |= 1 << bit
+			case r < a+b+c:
+				u |= 1 << bit
+			default:
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		if u == v {
+			continue
+		}
+		key := int64(u)<<32 | int64(v)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		edges = append(edges, edge{int32(u), int32(v)})
+	}
+	deg := make([]int32, n)
+	for _, e := range edges {
+		deg[e.u]++
+	}
+	g := &Graph{N: n, RowPtr: make([]int32, n+1)}
+	for i := 0; i < n; i++ {
+		g.RowPtr[i+1] = g.RowPtr[i] + deg[i]
+	}
+	g.Col = make([]int32, len(edges))
+	cursor := make([]int32, n)
+	copy(cursor, g.RowPtr[:n])
+	for _, e := range edges {
+		g.Col[cursor[e.u]] = e.v
+		cursor[e.u]++
+	}
+	// Sort each adjacency list (insertion sort; lists are short).
+	for v := 0; v < n; v++ {
+		adj := g.Neighbors(v)
+		for i := 1; i < len(adj); i++ {
+			for j := i; j > 0 && adj[j-1] > adj[j]; j-- {
+				adj[j-1], adj[j] = adj[j], adj[j-1]
+			}
+		}
+	}
+	return g
+}
+
+// CSRMatrix is a sparse matrix with power-law row lengths.
+type CSRMatrix struct {
+	Rows, Cols int
+	RowPtr     []int32
+	ColIdx     []int32
+	Vals       []uint64
+}
+
+// NNZ returns the stored-element count.
+func (m *CSRMatrix) NNZ() int { return len(m.Vals) }
+
+// PowerLawCSR builds a rows×cols CSR matrix whose row lengths follow a
+// power law with the given alpha; values are small non-zero integers.
+func PowerLawCSR(rng *RNG, rows, cols int, alpha float64, minRow, maxRow int) *CSRMatrix {
+	lens := PowerLawSizes(rng, rows, alpha, minRow, maxRow)
+	m := &CSRMatrix{Rows: rows, Cols: cols, RowPtr: make([]int32, rows+1)}
+	for i, l := range lens {
+		if l > cols {
+			l = cols
+		}
+		m.RowPtr[i+1] = m.RowPtr[i] + int32(l)
+	}
+	nnz := int(m.RowPtr[rows])
+	m.ColIdx = make([]int32, nnz)
+	m.Vals = make([]uint64, nnz)
+	for r := 0; r < rows; r++ {
+		l := int(m.RowPtr[r+1] - m.RowPtr[r])
+		// Distinct sorted column picks via a strided-random walk.
+		c := rng.Intn(cols)
+		stride := cols/(l+1) + 1
+		for k := 0; k < l; k++ {
+			m.ColIdx[m.RowPtr[r]+int32(k)] = int32(c % cols)
+			m.Vals[m.RowPtr[r]+int32(k)] = uint64(rng.Intn(9) + 1)
+			c += 1 + rng.Intn(stride)
+		}
+	}
+	return m
+}
+
+// sortRowsByLengthDesc reorders a CSR matrix so the heaviest rows come
+// first — degree-ordered storage, the layout web graphs and many
+// benchmark matrices ship in. It rebuilds RowPtr/ColIdx/Vals in place.
+func sortRowsByLengthDesc(m *CSRMatrix) {
+	order := make([]int, m.Rows)
+	for i := range order {
+		order[i] = i
+	}
+	lens := func(r int) int32 { return m.RowPtr[r+1] - m.RowPtr[r] }
+	// Stable mergesort by descending length keeps determinism.
+	tmp := make([]int, m.Rows)
+	var ms func(lo, hi int)
+	ms = func(lo, hi int) {
+		if hi-lo < 2 {
+			return
+		}
+		mid := (lo + hi) / 2
+		ms(lo, mid)
+		ms(mid, hi)
+		i, j, k := lo, mid, lo
+		for i < mid && j < hi {
+			if lens(order[i]) >= lens(order[j]) {
+				tmp[k] = order[i]
+				i++
+			} else {
+				tmp[k] = order[j]
+				j++
+			}
+			k++
+		}
+		for i < mid {
+			tmp[k] = order[i]
+			i, k = i+1, k+1
+		}
+		for j < hi {
+			tmp[k] = order[j]
+			j, k = j+1, k+1
+		}
+		copy(order[lo:hi], tmp[lo:hi])
+	}
+	ms(0, m.Rows)
+	newPtr := make([]int32, m.Rows+1)
+	newCol := make([]int32, len(m.ColIdx))
+	newVal := make([]uint64, len(m.Vals))
+	pos := int32(0)
+	for nr, or := range order {
+		l := lens(or)
+		newPtr[nr+1] = newPtr[nr] + l
+		copy(newCol[pos:pos+l], m.ColIdx[m.RowPtr[or]:m.RowPtr[or+1]])
+		copy(newVal[pos:pos+l], m.Vals[m.RowPtr[or]:m.RowPtr[or+1]])
+		pos += l
+	}
+	m.RowPtr, m.ColIdx, m.Vals = newPtr, newCol, newVal
+}
+
+// sizesHistogram builds the E1 characterization histogram from per-task
+// work estimates.
+func sizesHistogram(sizes []int) *stats.Histogram {
+	h := stats.NewHistogram()
+	for _, s := range sizes {
+		h.Observe(int64(s))
+	}
+	return h
+}
+
+// errf is fmt.Errorf shorthand for verifiers.
+func errf(format string, args ...any) error { return fmt.Errorf(format, args...) }

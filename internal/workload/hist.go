@@ -1,0 +1,116 @@
+package workload
+
+import (
+	"taskstream/internal/core"
+	"taskstream/internal/fabric"
+	"taskstream/internal/mem"
+)
+
+// HistParams sizes the histogram workload.
+type HistParams struct {
+	// N input elements into Bins buckets, processed by Blocks tasks.
+	N, Bins, Blocks int
+	Seed            uint64
+}
+
+// DefaultHist returns the reference configuration.
+func DefaultHist() HistParams {
+	return HistParams{N: 1 << 16, Bins: 256, Blocks: 64, Seed: 9}
+}
+
+// Hist builds a two-phase histogram: per-block tasks accumulate private
+// bins (phase 0), a reduction task merges them (phase 1). Work is
+// near-regular (equal blocks); only the reduction briefly serializes.
+// The third parity-control workload.
+func Hist(p HistParams) *Workload {
+	rng := NewRNG(p.Seed)
+	st := mem.NewStorage()
+	al := mem.NewAllocator()
+
+	dataB := al.AllocElems(p.N)
+	data := make([]uint64, p.N)
+	for i := range data {
+		data[i] = rng.Next()
+	}
+	st.WriteElems(dataB, data)
+
+	privAll := al.AllocElems(p.Blocks * p.Bins)
+	finalB := al.AllocElems(p.Bins)
+	binOf := func(v uint64) int { return int(fabric.Mix64(v) % uint64(p.Bins)) }
+
+	blockT := &core.TaskType{
+		Name: "hist-block",
+		DFG:  binDFG("hist-block"),
+		Kernel: func(t *core.Task, in [][]uint64, s *mem.Storage) core.Result {
+			bins := make([]uint64, p.Bins)
+			for _, v := range in[0] {
+				bins[binOf(v)]++
+			}
+			return core.Result{Out: [][]uint64{bins}}
+		},
+	}
+	mergeT := &core.TaskType{
+		Name: "hist-merge",
+		DFG:  binDFG("hist-merge"),
+		Kernel: func(t *core.Task, in [][]uint64, s *mem.Storage) core.Result {
+			out := make([]uint64, p.Bins)
+			for b := 0; b < p.Blocks; b++ {
+				for i := 0; i < p.Bins; i++ {
+					out[i] += in[0][b*p.Bins+i]
+				}
+			}
+			return core.Result{Out: [][]uint64{out}}
+		},
+	}
+
+	blockSize := (p.N + p.Blocks - 1) / p.Blocks
+	var tasks []core.Task
+	sizes := []int{}
+	for b := 0; b < p.Blocks; b++ {
+		lo := b * blockSize
+		hi := lo + blockSize
+		if hi > p.N {
+			hi = p.N
+		}
+		if hi <= lo {
+			continue
+		}
+		tasks = append(tasks, core.Task{
+			Type: 0, Phase: 0, Key: uint64(b),
+			Ins:      []core.InArg{{Kind: core.ArgDRAMLinear, Base: dataB + mem.Addr(lo*8), N: hi - lo}},
+			Outs:     []core.OutArg{{Kind: core.OutDRAMLinear, Base: privAll + mem.Addr(b*p.Bins*8), N: p.Bins}},
+			WorkHint: int64(hi - lo),
+		})
+		sizes = append(sizes, hi-lo)
+	}
+	tasks = append(tasks, core.Task{
+		Type: 1, Phase: 1, Key: 1 << 20,
+		Ins:      []core.InArg{{Kind: core.ArgDRAMLinear, Base: privAll, N: p.Blocks * p.Bins}},
+		Outs:     []core.OutArg{{Kind: core.OutDRAMLinear, Base: finalB, N: p.Bins}},
+		WorkHint: int64(p.Blocks * p.Bins),
+	})
+	sizes = append(sizes, p.Blocks*p.Bins)
+
+	verify := func() error {
+		want := make([]uint64, p.Bins)
+		for _, v := range data {
+			want[binOf(v)]++
+		}
+		for i := 0; i < p.Bins; i++ {
+			if got := st.Read8(finalB + mem.Addr(i*8)); got != want[i] {
+				return errf("hist: bin[%d] = %d, want %d", i, got, want[i])
+			}
+		}
+		return nil
+	}
+
+	return &Workload{
+		Name: "hist",
+		Prog: &core.Program{Name: "hist", Types: []*core.TaskType{blockT, mergeT},
+			NumPhases: 2, Tasks: tasks},
+		Storage:      st,
+		Verify:       verify,
+		TaskSizes:    sizesHistogram(sizes),
+		BytesTouched: int64(p.N*8 + p.Blocks*p.Bins*8),
+	}
+}

@@ -1,0 +1,170 @@
+package workload
+
+import (
+	"taskstream/internal/core"
+	"taskstream/internal/fabric"
+	"taskstream/internal/mem"
+)
+
+// JoinParams sizes the partitioned hash-join workload.
+type JoinParams struct {
+	// NR and NS are build/probe relation sizes.
+	NR, NS int
+	// Partitions is the partition count (one build + one probe task each).
+	Partitions int
+	// ZipfS is the key skew (0 = uniform; 1 ≈ web skew). Skewed keys
+	// produce skewed partitions under range partitioning.
+	ZipfS float64
+	// Universe is the key domain size.
+	Universe int
+	Seed     uint64
+}
+
+// DefaultJoin returns the reference configuration.
+func DefaultJoin() JoinParams {
+	return JoinParams{NR: 24576, NS: 24576, Partitions: 48, ZipfS: 0.9,
+		Universe: 1 << 16, Seed: 3}
+}
+
+// Join builds a two-phase partitioned hash join. Phase 0 build tasks
+// construct one open-addressing table per partition and *forward* the
+// table stream to the matching phase-1 probe task — the pipelined
+// inter-task dependence TaskStream recovers. Range partitioning of
+// zipf-distributed keys skews partition sizes, exercising load
+// balancing at the same time.
+func Join(p JoinParams) *Workload {
+	rng := NewRNG(p.Seed)
+	zipf := NewZipf(rng, p.Universe, p.ZipfS)
+	st := mem.NewStorage()
+	al := mem.NewAllocator()
+
+	// Draw keys and range-partition them (partition = key / stripe).
+	stripe := (p.Universe + p.Partitions - 1) / p.Partitions
+	rPart := make([][]uint64, p.Partitions)
+	sPart := make([][]uint64, p.Partitions)
+	for i := 0; i < p.NR; i++ {
+		k := zipf.Next()
+		rPart[k/stripe] = append(rPart[k/stripe], uint64(k))
+	}
+	for i := 0; i < p.NS; i++ {
+		k := zipf.Next()
+		sPart[k/stripe] = append(sPart[k/stripe], uint64(k))
+	}
+
+	// Layout.
+	rBase := make([]mem.Addr, p.Partitions)
+	sBase := make([]mem.Addr, p.Partitions)
+	htBase := make([]mem.Addr, p.Partitions)
+	outBase := make([]mem.Addr, p.Partitions)
+	slots := make([]int, p.Partitions)
+	for i := 0; i < p.Partitions; i++ {
+		rBase[i] = al.AllocElems(len(rPart[i]) + 1)
+		st.WriteElems(rBase[i], rPart[i])
+		sBase[i] = al.AllocElems(len(sPart[i]) + 1)
+		st.WriteElems(sBase[i], sPart[i])
+		n := 2 * (len(rPart[i]) + 1)
+		sl := 1
+		for sl < n {
+			sl <<= 1
+		}
+		slots[i] = sl
+		htBase[i] = al.AllocElems(sl)
+		outBase[i] = al.AllocElems(len(sPart[i]) + 1)
+	}
+
+	// Hash-table convention: slot holds key+1; 0 = empty. The hash is
+	// the fabric's Mix64, so the DFG and kernel agree.
+	hashSlot := func(key uint64, mask int) int {
+		return int(fabric.Mix64(key)) & mask
+	}
+
+	build := &core.TaskType{
+		Name: "join-build",
+		DFG:  hashProbeDFG("join-build"),
+		Kernel: func(t *core.Task, in [][]uint64, s *mem.Storage) core.Result {
+			sl := int(t.Scalars[0])
+			table := make([]uint64, sl)
+			for _, k := range in[0] {
+				i := hashSlot(k, sl-1)
+				for table[i] != 0 && table[i] != k+1 {
+					i = (i + 1) & (sl - 1)
+				}
+				table[i] = k + 1
+			}
+			return core.Result{Out: [][]uint64{table}}
+		},
+	}
+	probe := &core.TaskType{
+		Name: "join-probe",
+		DFG:  hashProbeDFG("join-probe"),
+		Kernel: func(t *core.Task, in [][]uint64, s *mem.Storage) core.Result {
+			table := in[0]
+			sl := len(table)
+			out := make([]uint64, len(in[1]))
+			for j, k := range in[1] {
+				i := hashSlot(k, sl-1)
+				for table[i] != 0 {
+					if table[i] == k+1 {
+						out[j] = 1
+						break
+					}
+					i = (i + 1) & (sl - 1)
+				}
+			}
+			return core.Result{Out: [][]uint64{nil, out}}
+		},
+	}
+
+	var tasks []core.Task
+	sizes := []int{}
+	for i := 0; i < p.Partitions; i++ {
+		tag := uint64(i + 1)
+		nR, nS := len(rPart[i]), len(sPart[i])
+		tasks = append(tasks, core.Task{
+			Type: 0, Phase: 0, Key: uint64(i),
+			Scalars:  []uint64{uint64(slots[i])},
+			Ins:      []core.InArg{{Kind: core.ArgDRAMLinear, Base: rBase[i], N: nR}},
+			Outs:     []core.OutArg{{Kind: core.OutForward, Base: htBase[i], N: slots[i], Tag: tag}},
+			WorkHint: int64(nR + slots[i]),
+		})
+		tasks = append(tasks, core.Task{
+			Type: 1, Phase: 1, Key: uint64(i),
+			Ins: []core.InArg{
+				{Kind: core.ArgForwardIn, Base: htBase[i], N: slots[i], Tag: tag},
+				{Kind: core.ArgDRAMLinear, Base: sBase[i], N: nS},
+			},
+			Outs:     []core.OutArg{{}, {Kind: core.OutDRAMLinear, Base: outBase[i], N: nS}},
+			WorkHint: int64(nS + slots[i]),
+		})
+		sizes = append(sizes, nR+slots[i], nS+slots[i])
+	}
+
+	verify := func() error {
+		for i := 0; i < p.Partitions; i++ {
+			inR := make(map[uint64]bool, len(rPart[i]))
+			for _, k := range rPart[i] {
+				inR[k] = true
+			}
+			for j, k := range sPart[i] {
+				want := uint64(0)
+				if inR[k] {
+					want = 1
+				}
+				if got := st.Read8(outBase[i] + mem.Addr(j*8)); got != want {
+					return errf("join: partition %d probe %d (key %d) = %d, want %d", i, j, k, got, want)
+				}
+			}
+		}
+		return nil
+	}
+
+	return &Workload{
+		Name: "join",
+		Prog: &core.Program{Name: "join", Types: []*core.TaskType{build, probe},
+			NumPhases: 2, Tasks: tasks},
+		Storage:      st,
+		Verify:       verify,
+		TaskSizes:    sizesHistogram(sizes),
+		BytesTouched: int64((p.NR + p.NS) * 8 * 2),
+	}
+}

@@ -1,0 +1,253 @@
+package workload
+
+import (
+	"taskstream/internal/core"
+	"taskstream/internal/mem"
+)
+
+// KMeansParams sizes the k-means workload.
+type KMeansParams struct {
+	// Points, K clusters, Dims dimensions, Iters Lloyd iterations,
+	// Blocks assignment tasks per iteration.
+	Points, K, Dims, Iters, Blocks int
+	Seed                           uint64
+}
+
+// DefaultKMeans returns the reference configuration: a
+// classification-scale centroid table (K·Dims comparable to the
+// per-task point stripe), the regime where centroid re-reads dominate
+// traffic and read sharing matters.
+func DefaultKMeans() KMeansParams {
+	return KMeansParams{Points: 16384, K: 128, Dims: 8, Iters: 2, Blocks: 32, Seed: 6}
+}
+
+// midFan is the width of the update-reduction tree's first level.
+const midFan = 8
+
+// KMeans builds Lloyd's algorithm: each iteration has an assignment
+// phase (one task per point block, all reading the same centroid table
+// — the multicast shared read) and a two-level reduction (midFan mid
+// tasks, one final task) producing the next centroids. Work is
+// regular; k-means isolates the read-sharing mechanism.
+func KMeans(p KMeansParams) *Workload {
+	rng := NewRNG(p.Seed)
+	st := mem.NewStorage()
+	al := mem.NewAllocator()
+
+	ptsB := al.AllocElems(p.Points * p.Dims)
+	pts := make([]uint64, p.Points*p.Dims)
+	for i := range pts {
+		pts[i] = uint64(rng.Intn(1024))
+	}
+	st.WriteElems(ptsB, pts)
+
+	// Centroid double buffers, one per iteration parity.
+	centB := [2]mem.Addr{al.AllocElems(p.K * p.Dims), al.AllocElems(p.K * p.Dims)}
+	cent0 := make([]uint64, p.K*p.Dims)
+	for i := range cent0 {
+		cent0[i] = uint64(rng.Intn(1024))
+	}
+	st.WriteElems(centB[0], cent0)
+
+	assignB := al.AllocElems(p.Points)
+	// partials: one contiguous region of Blocks × K*(Dims+1) sums+counts
+	// (contiguity lets the update task read it as one linear stream).
+	pw := p.K * (p.Dims + 1)
+	partAll := al.AllocElems(p.Blocks * pw)
+	partB := make([]mem.Addr, p.Blocks)
+	for b := range partB {
+		partB[b] = partAll + mem.Addr(b*pw*8)
+	}
+	// Mid-reduction buffers, double-buffered across iteration parity.
+	midB := al.AllocElems(2 * midFan * pw)
+
+	blockSize := (p.Points + p.Blocks - 1) / p.Blocks
+
+	dist2 := func(pt, c []uint64) uint64 {
+		var d uint64
+		for j := range pt {
+			df := int64(pt[j]) - int64(c[j])
+			d += uint64(df * df)
+		}
+		return d
+	}
+
+	assign := &core.TaskType{
+		Name: "kmeans-assign",
+		DFG:  distDFG("kmeans-assign"),
+		Kernel: func(t *core.Task, in [][]uint64, s *mem.Storage) core.Result {
+			pts, cents := in[0], in[1]
+			n := len(pts) / p.Dims
+			out := make([]uint64, n)
+			part := make([]uint64, pw)
+			for i := 0; i < n; i++ {
+				pt := pts[i*p.Dims : (i+1)*p.Dims]
+				best, bestD := 0, ^uint64(0)
+				for k := 0; k < p.K; k++ {
+					d := dist2(pt, cents[k*p.Dims:(k+1)*p.Dims])
+					if d < bestD {
+						best, bestD = k, d
+					}
+				}
+				out[i] = uint64(best)
+				for j := 0; j < p.Dims; j++ {
+					part[best*(p.Dims+1)+j] += pt[j]
+				}
+				part[best*(p.Dims+1)+p.Dims]++
+			}
+			return core.Result{Out: [][]uint64{nil, nil, out, part}}
+		},
+	}
+	// The update is a two-level reduction tree: mid tasks each sum a
+	// stripe of block partials; the final task divides sums by counts.
+	mid := &core.TaskType{
+		Name: "kmeans-mid",
+		DFG:  distDFG("kmeans-mid"),
+		Kernel: func(t *core.Task, in [][]uint64, s *mem.Storage) core.Result {
+			out := make([]uint64, pw)
+			for off := 0; off < len(in[0]); off += pw {
+				for i := 0; i < pw; i++ {
+					out[i] += in[0][off+i]
+				}
+			}
+			return core.Result{Out: [][]uint64{nil, out}}
+		},
+	}
+	update := &core.TaskType{
+		Name: "kmeans-update",
+		DFG:  distDFG("kmeans-update"),
+		Kernel: func(t *core.Task, in [][]uint64, s *mem.Storage) core.Result {
+			sums := make([]uint64, pw)
+			for off := 0; off < len(in[0]); off += pw {
+				for i := 0; i < pw; i++ {
+					sums[i] += in[0][off+i]
+				}
+			}
+			next := make([]uint64, p.K*p.Dims)
+			prev := int(t.Scalars[0])
+			for k := 0; k < p.K; k++ {
+				cnt := sums[k*(p.Dims+1)+p.Dims]
+				for j := 0; j < p.Dims; j++ {
+					if cnt > 0 {
+						next[k*p.Dims+j] = sums[k*(p.Dims+1)+j] / cnt
+					} else {
+						next[k*p.Dims+j] = s.Read8(centB[prev] + mem.Addr((k*p.Dims+j)*8))
+					}
+				}
+			}
+			return core.Result{Out: [][]uint64{nil, next}}
+		},
+	}
+
+	var tasks []core.Task
+	sizes := []int{}
+	for it := 0; it < p.Iters; it++ {
+		cur, nxt := it%2, (it+1)%2
+		for b := 0; b < p.Blocks; b++ {
+			lo := b * blockSize
+			hi := lo + blockSize
+			if hi > p.Points {
+				hi = p.Points
+			}
+			n := hi - lo
+			if n <= 0 {
+				continue
+			}
+			tasks = append(tasks, core.Task{
+				Type: 0, Phase: 3 * it, Key: uint64(it*p.Blocks + b),
+				Ins: []core.InArg{
+					{Kind: core.ArgDRAMLinear, Base: ptsB + mem.Addr(lo*p.Dims*8), N: n * p.Dims},
+					{Kind: core.ArgDRAMLinear, Base: centB[cur], N: p.K * p.Dims, Shared: true},
+				},
+				Outs: []core.OutArg{{}, {},
+					{Kind: core.OutDRAMLinear, Base: assignB + mem.Addr(lo*8), N: n},
+					{Kind: core.OutDRAMLinear, Base: partB[b], N: pw},
+				},
+				WorkHint: int64(n * p.Dims * p.K / 4),
+			})
+			sizes = append(sizes, n*p.Dims)
+		}
+		// Reduction tree: 8 mid tasks sum block stripes, the final task
+		// produces the next centroids.
+		stripe := (p.Blocks + midFan - 1) / midFan
+		nMid := (p.Blocks + stripe - 1) / stripe
+		for g := 0; g < nMid; g++ {
+			lo := g * stripe
+			hi := lo + stripe
+			if hi > p.Blocks {
+				hi = p.Blocks
+			}
+			tasks = append(tasks, core.Task{
+				Type: 1, Phase: 3*it + 1, Key: uint64(2000 + it*midFan + g),
+				Ins:      []core.InArg{{Kind: core.ArgDRAMLinear, Base: partB[lo], N: (hi - lo) * pw}},
+				Outs:     []core.OutArg{{}, {Kind: core.OutDRAMLinear, Base: midB + mem.Addr((it%2*midFan+g)*pw*8), N: pw}},
+				WorkHint: int64((hi - lo) * pw),
+			})
+			sizes = append(sizes, (hi-lo)*pw)
+		}
+		tasks = append(tasks, core.Task{
+			Type: 2, Phase: 3*it + 2, Key: uint64(1000 + it),
+			Scalars:  []uint64{uint64(cur)},
+			Ins:      []core.InArg{{Kind: core.ArgDRAMLinear, Base: midB + mem.Addr(it%2*midFan*pw*8), N: nMid * pw}},
+			Outs:     []core.OutArg{{}, {Kind: core.OutDRAMLinear, Base: centB[nxt], N: p.K * p.Dims}},
+			WorkHint: int64(nMid * pw),
+		})
+		sizes = append(sizes, nMid*pw)
+	}
+
+	// Reference: the same algorithm in plain Go.
+	verify := func() error {
+		cents := append([]uint64(nil), cent0...)
+		var lastAssign []uint64
+		for it := 0; it < p.Iters; it++ {
+			assignRef := make([]uint64, p.Points)
+			sums := make([]uint64, p.K*p.Dims)
+			cnts := make([]uint64, p.K)
+			for i := 0; i < p.Points; i++ {
+				pt := pts[i*p.Dims : (i+1)*p.Dims]
+				best, bestD := 0, ^uint64(0)
+				for k := 0; k < p.K; k++ {
+					d := dist2(pt, cents[k*p.Dims:(k+1)*p.Dims])
+					if d < bestD {
+						best, bestD = k, d
+					}
+				}
+				assignRef[i] = uint64(best)
+				for j := 0; j < p.Dims; j++ {
+					sums[best*p.Dims+j] += pt[j]
+				}
+				cnts[best]++
+			}
+			for k := 0; k < p.K; k++ {
+				for j := 0; j < p.Dims; j++ {
+					if cnts[k] > 0 {
+						cents[k*p.Dims+j] = sums[k*p.Dims+j] / cnts[k]
+					}
+				}
+			}
+			lastAssign = assignRef
+		}
+		for i := 0; i < p.Points; i++ {
+			if got := st.Read8(assignB + mem.Addr(i*8)); got != lastAssign[i] {
+				return errf("kmeans: assign[%d] = %d, want %d", i, got, lastAssign[i])
+			}
+		}
+		final := (p.Iters) % 2
+		for i := 0; i < p.K*p.Dims; i++ {
+			if got := st.Read8(centB[final] + mem.Addr(i*8)); got != cents[i] {
+				return errf("kmeans: centroid[%d] = %d, want %d", i, got, cents[i])
+			}
+		}
+		return nil
+	}
+
+	return &Workload{
+		Name: "kmeans",
+		Prog: &core.Program{Name: "kmeans", Types: []*core.TaskType{assign, mid, update},
+			NumPhases: 3 * p.Iters, Tasks: tasks},
+		Storage:      st,
+		Verify:       verify,
+		TaskSizes:    sizesHistogram(sizes),
+		BytesTouched: int64(p.Points*p.Dims*8*p.Iters + p.Points*8),
+	}
+}

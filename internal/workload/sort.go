@@ -1,0 +1,142 @@
+package workload
+
+import (
+	"sort"
+
+	"taskstream/internal/core"
+	"taskstream/internal/mem"
+)
+
+// SortParams sizes the mergesort workload.
+type SortParams struct {
+	// N is the total element count; Leaves the number of leaf chunks
+	// (must be a power of two). The merge tree has log2(Leaves) levels.
+	N, Leaves int
+	Seed      uint64
+}
+
+// DefaultSort returns the reference configuration.
+func DefaultSort() SortParams { return SortParams{N: 1 << 16, Leaves: 32, Seed: 5} }
+
+// MergeSort builds a mergesort task tree: leaf tasks sort chunks, each
+// internal task merges two children. Every edge of the tree is a tagged
+// producer→consumer stream, so TaskStream's forwarding recovers a
+// pipeline across the whole tree — the signature case for pipelined
+// inter-task dependences. Under the static model every level is a
+// barrier with a DRAM round trip.
+func MergeSort(p SortParams) *Workload {
+	if p.Leaves&(p.Leaves-1) != 0 || p.Leaves < 2 {
+		panic("workload: Leaves must be a power of two ≥ 2")
+	}
+	rng := NewRNG(p.Seed)
+	st := mem.NewStorage()
+	al := mem.NewAllocator()
+
+	inB := al.AllocElems(p.N)
+	input := make([]uint64, p.N)
+	for i := range input {
+		input[i] = rng.Next() >> 16
+	}
+	st.WriteElems(inB, input)
+
+	chunk := p.N / p.Leaves
+	levels := 0
+	for l := p.Leaves; l > 1; l >>= 1 {
+		levels++
+	}
+	// buf[l][i]: output buffer for node i at level l (level 0 = leaves).
+	buf := make([][]mem.Addr, levels+1)
+	for l := 0; l <= levels; l++ {
+		nodes := p.Leaves >> l
+		buf[l] = make([]mem.Addr, nodes)
+		for i := 0; i < nodes; i++ {
+			buf[l][i] = al.AllocElems(chunk << l)
+		}
+	}
+	tag := func(l, i int) uint64 { return uint64(l+1)<<24 | uint64(i+1) }
+
+	leaf := &core.TaskType{
+		Name: "sort-leaf",
+		DFG:  mergeDFG("sort-leaf"),
+		Kernel: func(t *core.Task, in [][]uint64, s *mem.Storage) core.Result {
+			out := append([]uint64(nil), in[0]...)
+			sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+			return core.Result{Out: [][]uint64{out}}
+		},
+	}
+	merge := &core.TaskType{
+		Name: "sort-merge",
+		DFG:  mergeDFG("sort-merge"),
+		Kernel: func(t *core.Task, in [][]uint64, s *mem.Storage) core.Result {
+			a, b := in[0], in[1]
+			out := make([]uint64, 0, len(a)+len(b))
+			i, j := 0, 0
+			for i < len(a) && j < len(b) {
+				if a[i] <= b[j] {
+					out = append(out, a[i])
+					i++
+				} else {
+					out = append(out, b[j])
+					j++
+				}
+			}
+			out = append(out, a[i:]...)
+			out = append(out, b[j:]...)
+			return core.Result{Out: [][]uint64{nil, nil, out}}
+		},
+	}
+
+	var tasks []core.Task
+	sizes := []int{}
+	for i := 0; i < p.Leaves; i++ {
+		tasks = append(tasks, core.Task{
+			Type: 0, Phase: 0, Key: uint64(i),
+			Ins:      []core.InArg{{Kind: core.ArgDRAMLinear, Base: inB + mem.Addr(i*chunk*8), N: chunk}},
+			Outs:     []core.OutArg{{Kind: core.OutForward, Base: buf[0][i], N: chunk, Tag: tag(0, i)}},
+			WorkHint: int64(chunk),
+		})
+		sizes = append(sizes, chunk)
+	}
+	for l := 1; l <= levels; l++ {
+		nodes := p.Leaves >> l
+		n := chunk << l
+		for i := 0; i < nodes; i++ {
+			out := core.OutArg{Kind: core.OutForward, Base: buf[l][i], N: n, Tag: tag(l, i)}
+			if l == levels {
+				out = core.OutArg{Kind: core.OutDRAMLinear, Base: buf[l][i], N: n}
+			}
+			tasks = append(tasks, core.Task{
+				Type: 1, Phase: l, Key: uint64(l)<<32 | uint64(i),
+				Ins: []core.InArg{
+					{Kind: core.ArgForwardIn, Base: buf[l-1][2*i], N: n / 2, Tag: tag(l-1, 2*i)},
+					{Kind: core.ArgForwardIn, Base: buf[l-1][2*i+1], N: n / 2, Tag: tag(l-1, 2*i+1)},
+				},
+				Outs:     []core.OutArg{{}, {}, out},
+				WorkHint: int64(n),
+			})
+			sizes = append(sizes, n)
+		}
+	}
+
+	verify := func() error {
+		want := append([]uint64(nil), input...)
+		sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+		got := st.ReadElems(buf[levels][0], p.N)
+		for i := range want {
+			if got[i] != want[i] {
+				return errf("sort: out[%d] = %d, want %d", i, got[i], want[i])
+			}
+		}
+		return nil
+	}
+
+	return &Workload{
+		Name: "sort",
+		Prog: &core.Program{Name: "sort", Types: []*core.TaskType{leaf, merge},
+			NumPhases: levels + 1, Tasks: tasks},
+		Storage:      st,
+		Verify:       verify,
+		TaskSizes:    sizesHistogram(sizes),
+		BytesTouched: int64(p.N * 8 * (levels + 2)),
+	}
+}

@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"taskstream/internal/core"
+	"taskstream/internal/mem"
+)
+
+// SpMVParams sizes the sparse matrix-vector workload.
+type SpMVParams struct {
+	Rows, Cols int
+	// Alpha is the power-law exponent of row lengths (smaller = more
+	// skew); MinRow/MaxRow clamp them.
+	Alpha          float64
+	MinRow, MaxRow int
+	// RowsPerTask is the task granularity (E7 sweeps it).
+	RowsPerTask int
+	// Clustered sorts rows heaviest-first (degree-ordered storage, the
+	// common web-graph/matrix layout), which concentrates work in a few
+	// contiguous blocks — the pattern that defeats static partitioning.
+	Clustered bool
+	Seed      uint64
+}
+
+// DefaultSpMV returns the reference configuration: strongly skewed,
+// degree-ordered rows, the canonical load-imbalance victim.
+func DefaultSpMV() SpMVParams {
+	return SpMVParams{Rows: 4096, Cols: 4096, Alpha: 1.5, MinRow: 2, MaxRow: 1024,
+		RowsPerTask: 32, Clustered: true, Seed: 1}
+}
+
+// SpMV builds y = A·x with one task per block of matrix rows. Tasks
+// stream the block's values and column indices linearly from DRAM and
+// gather x from the lane scratchpad (x is small and replicated as
+// resident data, as stream-dataflow SpMV implementations stage it).
+// The work hint is the block's non-zero count, which varies wildly
+// across blocks under the power-law row distribution.
+func SpMV(p SpMVParams) *Workload {
+	rng := NewRNG(p.Seed)
+	m := PowerLawCSR(rng, p.Rows, p.Cols, p.Alpha, p.MinRow, p.MaxRow)
+	if p.Clustered {
+		sortRowsByLengthDesc(m)
+	}
+	st := mem.NewStorage()
+	al := mem.NewAllocator()
+
+	valsB := al.AllocElems(m.NNZ())
+	colB := al.AllocElems(m.NNZ())
+	xB := al.AllocElems(p.Cols)
+	yB := al.AllocElems(p.Rows)
+	rpB := al.AllocElems(p.Rows + 1)
+
+	for i, v := range m.Vals {
+		st.Write8(valsB+mem.Addr(i*8), v)
+	}
+	for i, c := range m.ColIdx {
+		st.Write8(colB+mem.Addr(i*8), uint64(c))
+	}
+	x := make([]uint64, p.Cols)
+	for i := range x {
+		x[i] = uint64(rng.Intn(100))
+	}
+	st.WriteElems(xB, x)
+	for i, rp := range m.RowPtr {
+		st.Write8(rpB+mem.Addr(i*8), uint64(rp))
+	}
+
+	tt := &core.TaskType{
+		Name: "spmv-block",
+		DFG:  macDFG("spmv"),
+		Kernel: func(t *core.Task, in [][]uint64, s *mem.Storage) core.Result {
+			r0, r1 := int(t.Scalars[0]), int(t.Scalars[1])
+			vals, xs := in[0], in[2]
+			out := make([]uint64, r1-r0)
+			base := s.Read8(rpB + mem.Addr(r0*8))
+			for r := r0; r < r1; r++ {
+				lo := s.Read8(rpB+mem.Addr(r*8)) - base
+				hi := s.Read8(rpB+mem.Addr((r+1)*8)) - base
+				var sum uint64
+				for k := lo; k < hi; k++ {
+					sum += vals[k] * xs[k]
+				}
+				out[r-r0] = sum
+			}
+			return core.Result{Out: [][]uint64{out}}
+		},
+	}
+
+	var tasks []core.Task
+	sizes := []int{}
+	for r0 := 0; r0 < p.Rows; r0 += p.RowsPerTask {
+		r1 := r0 + p.RowsPerTask
+		if r1 > p.Rows {
+			r1 = p.Rows
+		}
+		lo, hi := int(m.RowPtr[r0]), int(m.RowPtr[r1])
+		nnz := hi - lo
+		if nnz == 0 {
+			continue
+		}
+		tasks = append(tasks, core.Task{
+			Type:    0,
+			Key:     uint64(r0),
+			Scalars: []uint64{uint64(r0), uint64(r1)},
+			Ins: []core.InArg{
+				{Kind: core.ArgDRAMLinear, Base: valsB + mem.Addr(lo*8), N: nnz},
+				{Kind: core.ArgDRAMLinear, Base: colB + mem.Addr(lo*8), N: nnz},
+				{Kind: core.ArgSpadGather, Base: xB, IdxBase: colB + mem.Addr(lo*8), N: nnz},
+			},
+			Outs:     []core.OutArg{{Kind: core.OutDRAMLinear, Base: yB + mem.Addr(r0*8), N: r1 - r0}},
+			WorkHint: int64(nnz),
+		})
+		sizes = append(sizes, nnz)
+	}
+
+	verify := func() error {
+		for r := 0; r < p.Rows; r++ {
+			var want uint64
+			for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+				want += m.Vals[k] * x[m.ColIdx[k]]
+			}
+			if got := st.Read8(yB + mem.Addr(r*8)); got != want {
+				return errf("spmv: y[%d] = %d, want %d", r, got, want)
+			}
+		}
+		return nil
+	}
+
+	return &Workload{
+		Name:         "spmv",
+		Prog:         &core.Program{Name: "spmv", Types: []*core.TaskType{tt}, NumPhases: 1, Tasks: tasks},
+		Storage:      st,
+		Verify:       verify,
+		TaskSizes:    sizesHistogram(sizes),
+		BytesTouched: int64(m.NNZ()*16 + p.Cols*8 + p.Rows*8),
+	}
+}

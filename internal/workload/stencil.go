@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"taskstream/internal/core"
+	"taskstream/internal/mem"
+)
+
+// StencilParams sizes the 2-D stencil workload.
+type StencilParams struct {
+	// Rows×Cols grid; Band rows per task.
+	Rows, Cols, Band int
+	Seed             uint64
+}
+
+// DefaultStencil returns the reference configuration.
+func DefaultStencil() StencilParams {
+	return StencilParams{Rows: 256, Cols: 512, Band: 16, Seed: 8}
+}
+
+// Stencil builds one 5-point smoothing sweep with one task per row
+// band (each reading its band plus one halo row on each side). Work is
+// perfectly regular and memory access fully streaming — the second
+// "static should already be fine" control workload.
+func Stencil(p StencilParams) *Workload {
+	rng := NewRNG(p.Seed)
+	st := mem.NewStorage()
+	al := mem.NewAllocator()
+
+	inB := al.AllocElems(p.Rows * p.Cols)
+	outB := al.AllocElems(p.Rows * p.Cols)
+	grid := make([]uint64, p.Rows*p.Cols)
+	for i := range grid {
+		grid[i] = uint64(rng.Intn(4096))
+	}
+	st.WriteElems(inB, grid)
+
+	at := func(r, c int) uint64 {
+		if r < 0 || r >= p.Rows || c < 0 || c >= p.Cols {
+			return 0
+		}
+		return grid[r*p.Cols+c]
+	}
+	point := func(r, c int) uint64 {
+		return (at(r, c) + at(r-1, c) + at(r+1, c) + at(r, c-1) + at(r, c+1)) / 5
+	}
+
+	tt := &core.TaskType{
+		Name: "stencil-band",
+		DFG:  stencilDFG("stencil"),
+		Kernel: func(t *core.Task, in [][]uint64, s *mem.Storage) core.Result {
+			r0, r1 := int(t.Scalars[0]), int(t.Scalars[1])
+			out := make([]uint64, (r1-r0)*p.Cols)
+			for r := r0; r < r1; r++ {
+				for c := 0; c < p.Cols; c++ {
+					out[(r-r0)*p.Cols+c] = point(r, c)
+				}
+			}
+			return core.Result{Out: [][]uint64{out}}
+		},
+	}
+
+	var tasks []core.Task
+	sizes := []int{}
+	for r0 := 0; r0 < p.Rows; r0 += p.Band {
+		r1 := r0 + p.Band
+		if r1 > p.Rows {
+			r1 = p.Rows
+		}
+		lo := r0 - 1
+		if lo < 0 {
+			lo = 0
+		}
+		hi := r1 + 1
+		if hi > p.Rows {
+			hi = p.Rows
+		}
+		inN := (hi - lo) * p.Cols
+		tasks = append(tasks, core.Task{
+			Type:     0,
+			Key:      uint64(r0),
+			Scalars:  []uint64{uint64(r0), uint64(r1)},
+			Ins:      []core.InArg{{Kind: core.ArgDRAMLinear, Base: inB + mem.Addr(lo*p.Cols*8), N: inN}},
+			Outs:     []core.OutArg{{Kind: core.OutDRAMLinear, Base: outB + mem.Addr(r0*p.Cols*8), N: (r1 - r0) * p.Cols}},
+			WorkHint: int64(inN),
+		})
+		sizes = append(sizes, inN)
+	}
+
+	verify := func() error {
+		for r := 0; r < p.Rows; r++ {
+			for c := 0; c < p.Cols; c++ {
+				want := point(r, c)
+				if got := st.Read8(outB + mem.Addr((r*p.Cols+c)*8)); got != want {
+					return errf("stencil: out[%d,%d] = %d, want %d", r, c, got, want)
+				}
+			}
+		}
+		return nil
+	}
+
+	return &Workload{
+		Name: "stencil",
+		Prog: &core.Program{Name: "stencil", Types: []*core.TaskType{tt},
+			NumPhases: 1, Tasks: tasks},
+		Storage:      st,
+		Verify:       verify,
+		TaskSizes:    sizesHistogram(sizes),
+		BytesTouched: int64(2 * p.Rows * p.Cols * 8),
+	}
+}

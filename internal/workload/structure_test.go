@@ -1,0 +1,229 @@
+package workload
+
+import (
+	"testing"
+
+	"taskstream/internal/core"
+)
+
+// Structural invariants of each workload's generated program — checked
+// without running the simulator.
+
+func TestJoinStructure(t *testing.T) {
+	w := smallJoin()
+	builds, probes := 0, 0
+	tags := map[uint64]int{}
+	for i := range w.Prog.Tasks {
+		task := &w.Prog.Tasks[i]
+		switch task.Phase {
+		case 0:
+			builds++
+			tag := task.ProducesTag()
+			if tag == 0 {
+				t.Fatal("build task without a forward tag")
+			}
+			tags[tag]++
+		case 1:
+			probes++
+			tag := task.ConsumesTag()
+			if tag == 0 {
+				t.Fatal("probe task without a consumed tag")
+			}
+			tags[tag] += 10
+		}
+	}
+	if builds != probes {
+		t.Fatalf("builds %d != probes %d", builds, probes)
+	}
+	for tag, v := range tags {
+		if v != 11 {
+			t.Fatalf("tag %d has producer/consumer mismatch (%d)", tag, v)
+		}
+	}
+}
+
+func TestSortTreeStructure(t *testing.T) {
+	w := smallSort()
+	// 8 leaves → 8+4+2+1 = 15 tasks, phases 0..3.
+	if len(w.Prog.Tasks) != 15 {
+		t.Fatalf("tasks = %d, want 15", len(w.Prog.Tasks))
+	}
+	if w.Prog.NumPhases != 4 {
+		t.Fatalf("phases = %d, want 4", w.Prog.NumPhases)
+	}
+	// Every forward tag is produced exactly once and consumed exactly
+	// once, except the root which writes memory.
+	prod := map[uint64]int{}
+	cons := map[uint64]int{}
+	for i := range w.Prog.Tasks {
+		task := &w.Prog.Tasks[i]
+		if tag := task.ProducesTag(); tag != 0 {
+			prod[tag]++
+		}
+		for _, in := range task.Ins {
+			if in.Kind == core.ArgForwardIn {
+				cons[in.Tag]++
+			}
+		}
+	}
+	if len(prod) != 14 {
+		t.Fatalf("produced tags = %d, want 14 (all non-root nodes)", len(prod))
+	}
+	for tag, n := range prod {
+		if n != 1 || cons[tag] != 1 {
+			t.Fatalf("tag %d: produced %d consumed %d", tag, n, cons[tag])
+		}
+	}
+}
+
+func TestBFSTaskPhasesMatchLevels(t *testing.T) {
+	w := smallBFS()
+	if len(w.Prog.Tasks) != 1 {
+		t.Fatalf("bfs starts with %d tasks, want 1 (root)", len(w.Prog.Tasks))
+	}
+	if w.Prog.Tasks[0].Phase != 0 {
+		t.Fatal("root must be phase 0")
+	}
+	if w.Prog.NumPhases < 2 {
+		t.Fatalf("bfs phases = %d; graph should have depth", w.Prog.NumPhases)
+	}
+}
+
+func TestSpMVTaskCoverage(t *testing.T) {
+	p := SpMVParams{Rows: 128, Cols: 128, Alpha: 1.6, MinRow: 2, MaxRow: 32,
+		RowsPerTask: 16, Clustered: true, Seed: 1}
+	w := SpMV(p)
+	// Every task covers a disjoint row range; ranges cover all rows
+	// with nonzero entries.
+	covered := map[uint64]bool{}
+	for i := range w.Prog.Tasks {
+		task := &w.Prog.Tasks[i]
+		r0, r1 := task.Scalars[0], task.Scalars[1]
+		if r1 <= r0 {
+			t.Fatalf("empty row range [%d,%d)", r0, r1)
+		}
+		for r := r0; r < r1; r++ {
+			if covered[r] {
+				t.Fatalf("row %d covered twice", r)
+			}
+			covered[r] = true
+		}
+		// Gather port must agree with the value port's length.
+		if task.Ins[0].N != task.Ins[2].N {
+			t.Fatal("vals and gather ports disagree on nnz")
+		}
+		if task.WorkHint != int64(task.Ins[0].N) {
+			t.Fatal("work hint must equal block nnz")
+		}
+	}
+}
+
+func TestClusteredSortActuallySorts(t *testing.T) {
+	rng := NewRNG(3)
+	m := PowerLawCSR(rng, 64, 64, 1.6, 2, 32)
+	sortRowsByLengthDesc(m)
+	prev := m.RowPtr[1] - m.RowPtr[0]
+	var total int32
+	for r := 1; r < m.Rows; r++ {
+		l := m.RowPtr[r+1] - m.RowPtr[r]
+		if l > prev {
+			t.Fatalf("row %d longer than predecessor (%d > %d)", r, l, prev)
+		}
+		prev = l
+		total += l
+	}
+	if int(m.RowPtr[m.Rows]) != m.NNZ() {
+		t.Fatal("row pointers corrupt after sort")
+	}
+}
+
+func TestKMeansPhaseStructure(t *testing.T) {
+	w := smallKMeans()
+	// 3 phases per iteration: assign, mid-reduce, final.
+	if w.Prog.NumPhases%3 != 0 {
+		t.Fatalf("kmeans phases = %d, want multiple of 3", w.Prog.NumPhases)
+	}
+	perPhase := map[int]int{}
+	for i := range w.Prog.Tasks {
+		perPhase[w.Prog.Tasks[i].Phase]++
+	}
+	for it := 0; it*3 < w.Prog.NumPhases; it++ {
+		if perPhase[3*it] < 2 {
+			t.Fatalf("iteration %d has %d assign tasks", it, perPhase[3*it])
+		}
+		if perPhase[3*it+2] != 1 {
+			t.Fatalf("iteration %d has %d final tasks, want 1", it, perPhase[3*it+2])
+		}
+	}
+	// The centroid port must be marked shared (multicast candidate).
+	found := false
+	for i := range w.Prog.Tasks {
+		for _, in := range w.Prog.Tasks[i].Ins {
+			if in.Shared {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("kmeans must mark the centroid read shared")
+	}
+}
+
+func TestGEMMSharingStructure(t *testing.T) {
+	w := smallGEMM()
+	// Every task shares both A and B blocks; distinct (i,j) tasks with
+	// the same i share the same A base.
+	bases := map[uint64][]int{}
+	for i := range w.Prog.Tasks {
+		task := &w.Prog.Tasks[i]
+		if !task.Ins[0].Shared || !task.Ins[1].Shared {
+			t.Fatal("gemm blocks must be marked shared")
+		}
+		bases[uint64(task.Ins[0].Base)] = append(bases[uint64(task.Ins[0].Base)], i)
+	}
+	for base, tasks := range bases {
+		if len(tasks) < 2 {
+			t.Fatalf("A block %#x shared by only %d tasks", base, len(tasks))
+		}
+	}
+}
+
+func TestHistStructure(t *testing.T) {
+	w := smallHist()
+	if w.Prog.NumPhases != 2 {
+		t.Fatalf("hist phases = %d, want 2", w.Prog.NumPhases)
+	}
+	merge := 0
+	for i := range w.Prog.Tasks {
+		if w.Prog.Tasks[i].Phase == 1 {
+			merge++
+		}
+	}
+	if merge != 1 {
+		t.Fatalf("hist merge tasks = %d, want 1", merge)
+	}
+}
+
+func TestAllProgramsValidate(t *testing.T) {
+	for _, nb := range Suite() {
+		w := nb.Build()
+		if err := w.Prog.Validate(); err != nil {
+			t.Fatalf("%s: %v", nb.Name, err)
+		}
+	}
+}
+
+func TestWorkloadsDeterministicConstruction(t *testing.T) {
+	for _, nb := range Suite() {
+		a, b := nb.Build(), nb.Build()
+		if len(a.Prog.Tasks) != len(b.Prog.Tasks) {
+			t.Fatalf("%s: task count differs across builds", nb.Name)
+		}
+		for i := range a.Prog.Tasks {
+			ta, tb := &a.Prog.Tasks[i], &b.Prog.Tasks[i]
+			if ta.Key != tb.Key || ta.WorkHint != tb.WorkHint || ta.Phase != tb.Phase {
+				t.Fatalf("%s: task %d differs across builds", nb.Name, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"testing"
+
+	"taskstream/internal/baseline"
+	"taskstream/internal/config"
+)
+
+func smallTri() *Workload  { return Tri(TriParams{Scale: 7, AvgDeg: 8, Seed: 4}) }
+func smallSort() *Workload { return MergeSort(SortParams{N: 1 << 12, Leaves: 8, Seed: 5}) }
+func smallKMeans() *Workload {
+	return KMeans(KMeansParams{Points: 2048, K: 8, Dims: 4, Iters: 2, Blocks: 16, Seed: 6})
+}
+func smallGEMM() *Workload    { return GEMM(GEMMParams{N: 64, Tile: 16, Seed: 7}) }
+func smallStencil() *Workload { return Stencil(StencilParams{Rows: 64, Cols: 128, Band: 8, Seed: 8}) }
+func smallHist() *Workload    { return Hist(HistParams{N: 1 << 12, Bins: 64, Blocks: 16, Seed: 9}) }
+
+func TestTriAllVariants(t *testing.T) {
+	for v := baseline.Static; v < baseline.NumVariants; v++ {
+		runAndVerify(t, smallTri, v, 4)
+	}
+}
+
+func TestSortAllVariants(t *testing.T) {
+	for v := baseline.Static; v < baseline.NumVariants; v++ {
+		runAndVerify(t, smallSort, v, 4)
+	}
+}
+
+func TestKMeansAllVariants(t *testing.T) {
+	for v := baseline.Static; v < baseline.NumVariants; v++ {
+		runAndVerify(t, smallKMeans, v, 4)
+	}
+}
+
+func TestGEMMAllVariants(t *testing.T) {
+	for v := baseline.Static; v < baseline.NumVariants; v++ {
+		runAndVerify(t, smallGEMM, v, 4)
+	}
+}
+
+func TestStencilAllVariants(t *testing.T) {
+	for v := baseline.Static; v < baseline.NumVariants; v++ {
+		runAndVerify(t, smallStencil, v, 4)
+	}
+}
+
+func TestHistAllVariants(t *testing.T) {
+	for v := baseline.Static; v < baseline.NumVariants; v++ {
+		runAndVerify(t, smallHist, v, 4)
+	}
+}
+
+func TestTriDeltaBeatsStatic(t *testing.T) {
+	d := runAndVerify(t, smallTri, baseline.Delta, 4)
+	s := runAndVerify(t, smallTri, baseline.Static, 4)
+	if d >= s {
+		t.Fatalf("delta (%d) should beat static (%d) on tri", d, s)
+	}
+}
+
+func TestSortForwardingHelps(t *testing.T) {
+	d := runAndVerify(t, smallSort, baseline.Delta, 4)
+	lbmc := runAndVerify(t, smallSort, baseline.LBMC, 4)
+	if d >= lbmc {
+		t.Fatalf("forwarding (%d) should beat +lb+mc (%d) on sort", d, lbmc)
+	}
+}
+
+func TestKMeansMulticastHelps(t *testing.T) {
+	lbmc := runAndVerify(t, smallKMeans, baseline.LBMC, 4)
+	lb := runAndVerify(t, smallKMeans, baseline.LB, 4)
+	if lbmc > lb {
+		t.Fatalf("multicast (%d) should not lose to +lb (%d) on kmeans", lbmc, lb)
+	}
+}
+
+func TestRegularWorkloadsParity(t *testing.T) {
+	// On regular workloads Delta must stay within a few percent of
+	// static (the execution model must not tax structured code).
+	for _, mk := range []func() *Workload{smallGEMM, smallStencil, smallHist} {
+		d := runAndVerify(t, mk, baseline.Delta, 4)
+		s := runAndVerify(t, mk, baseline.Static, 4)
+		if float64(d) > 1.10*float64(s) {
+			t.Fatalf("%s: delta (%d) more than 10%% behind static (%d)", mk().Name, d, s)
+		}
+	}
+}
+
+func TestSuiteRegistry(t *testing.T) {
+	names := map[string]bool{}
+	for _, nb := range Suite() {
+		if names[nb.Name] {
+			t.Fatalf("duplicate suite entry %q", nb.Name)
+		}
+		names[nb.Name] = true
+		if nb.Build == nil {
+			t.Fatalf("%s has no builder", nb.Name)
+		}
+	}
+	if len(names) != 9 {
+		t.Fatalf("suite has %d entries, want 9", len(names))
+	}
+	if ByName("spmv") == nil || ByName("nope") != nil {
+		t.Fatal("ByName lookup broken")
+	}
+}
+
+func TestSuiteBuildersAreFresh(t *testing.T) {
+	nb := ByName("hist")
+	a, b := nb.Build(), nb.Build()
+	if a.Storage == b.Storage {
+		t.Fatal("builders must not share storage between runs")
+	}
+}
+
+func TestWorkloadCharacteristics(t *testing.T) {
+	// Irregular workloads must show high task-size variance; regular
+	// ones low. This pins the E1 characterization claims.
+	w := smallTri()
+	if cv := w.TaskSizes.CV(); cv < 1.0 {
+		t.Fatalf("tri task-size CV = %.2f, want ≥1 (heavy skew)", cv)
+	}
+	g := smallGEMM()
+	if cv := g.TaskSizes.CV(); cv > 0.01 {
+		t.Fatalf("gemm task-size CV = %.2f, want ≈0 (regular)", cv)
+	}
+}
+
+func fullConfig() config.Config { return config.Default8() }

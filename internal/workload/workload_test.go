@@ -1,0 +1,170 @@
+package workload
+
+import (
+	"testing"
+
+	"taskstream/internal/baseline"
+	"taskstream/internal/config"
+)
+
+// runAndVerify executes a workload under a variant and checks results.
+func runAndVerify(t *testing.T, mk func() *Workload, v baseline.Variant, lanes int) int64 {
+	t.Helper()
+	w := mk()
+	rep, err := baseline.Run(v, config.Default8().WithLanes(lanes), w.Prog, w.Storage)
+	if err != nil {
+		t.Fatalf("%s/%v: %v", w.Name, v, err)
+	}
+	if err := w.Verify(); err != nil {
+		t.Fatalf("%s/%v: %v", w.Name, v, err)
+	}
+	return rep.Cycles
+}
+
+func small(p func() *Workload) func() *Workload { return p }
+
+// Small-instance constructors keep unit tests fast; defaults are
+// exercised by the experiment harness and benchmarks.
+func smallSpMV() *Workload {
+	return SpMV(SpMVParams{Rows: 512, Cols: 512, Alpha: 1.5, MinRow: 2, MaxRow: 256,
+		RowsPerTask: 8, Clustered: true, Seed: 1})
+}
+
+func smallBFS() *Workload { return BFS(BFSParams{Scale: 8, AvgDeg: 6, Seed: 2}) }
+
+func smallJoin() *Workload {
+	return Join(JoinParams{NR: 2048, NS: 2048, Partitions: 12, ZipfS: 0.9,
+		Universe: 1 << 12, Seed: 3})
+}
+
+func TestSpMVAllVariants(t *testing.T) {
+	for v := baseline.Static; v < baseline.NumVariants; v++ {
+		runAndVerify(t, smallSpMV, v, 4)
+	}
+}
+
+func TestBFSAllVariants(t *testing.T) {
+	for v := baseline.Static; v < baseline.NumVariants; v++ {
+		runAndVerify(t, smallBFS, v, 4)
+	}
+}
+
+func TestJoinAllVariants(t *testing.T) {
+	for v := baseline.Static; v < baseline.NumVariants; v++ {
+		runAndVerify(t, smallJoin, v, 4)
+	}
+}
+
+func TestSpMVDeltaBeatsStatic(t *testing.T) {
+	d := runAndVerify(t, smallSpMV, baseline.Delta, 4)
+	s := runAndVerify(t, smallSpMV, baseline.Static, 4)
+	if d >= s {
+		t.Fatalf("delta (%d) should beat static (%d) on skewed spmv", d, s)
+	}
+}
+
+func TestJoinForwardingHelps(t *testing.T) {
+	d := runAndVerify(t, smallJoin, baseline.Delta, 4)
+	lbmc := runAndVerify(t, smallJoin, baseline.LBMC, 4)
+	if d >= lbmc {
+		t.Fatalf("forwarding (%d) should beat +lb+mc (%d) on join", d, lbmc)
+	}
+}
+
+func TestWorkloadDeterminism(t *testing.T) {
+	a := runAndVerify(t, smallBFS, baseline.Delta, 4)
+	b := runAndVerify(t, smallBFS, baseline.Delta, 4)
+	if a != b {
+		t.Fatalf("bfs non-deterministic: %d vs %d", a, b)
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	rng := NewRNG(7)
+	sizes := PowerLawSizes(rng, 1000, 1.6, 2, 1024)
+	minS, maxS := sizes[0], sizes[0]
+	for _, s := range sizes {
+		if s < minS {
+			minS = s
+		}
+		if s > maxS {
+			maxS = s
+		}
+	}
+	if minS < 2 || maxS > 1024 {
+		t.Fatalf("power-law sizes out of bounds: [%d,%d]", minS, maxS)
+	}
+	if maxS < 100 {
+		t.Fatal("power law should produce a heavy tail")
+	}
+
+	g := RMAT(NewRNG(5), 8, 6)
+	if g.N != 256 {
+		t.Fatalf("RMAT N = %d", g.N)
+	}
+	if g.Edges() < 256*5 {
+		t.Fatalf("RMAT edges = %d, want ≈%d", g.Edges(), 256*6)
+	}
+	// Degree skew: max degree well above average.
+	maxDeg := 0
+	for v := 0; v < g.N; v++ {
+		if g.Degree(v) > maxDeg {
+			maxDeg = g.Degree(v)
+		}
+		adj := g.Neighbors(v)
+		for i := 1; i < len(adj); i++ {
+			if adj[i-1] >= adj[i] {
+				t.Fatal("adjacency must be sorted and deduplicated")
+			}
+		}
+	}
+	if maxDeg < 3*6 {
+		t.Fatalf("RMAT max degree %d shows no skew", maxDeg)
+	}
+
+	z := NewZipf(NewRNG(9), 1000, 1.0)
+	counts := map[int]int{}
+	for i := 0; i < 10000; i++ {
+		k := z.Next()
+		if k < 0 || k >= 1000 {
+			t.Fatalf("zipf key %d out of range", k)
+		}
+		counts[k]++
+	}
+	most := 0
+	for _, c := range counts {
+		if c > most {
+			most = c
+		}
+	}
+	if most < 300 {
+		t.Fatalf("zipf hottest key only %d/10000 draws; want heavy skew", most)
+	}
+
+	m := PowerLawCSR(NewRNG(11), 128, 128, 1.7, 2, 64)
+	if m.NNZ() == 0 {
+		t.Fatal("empty CSR")
+	}
+	for r := 0; r < m.Rows; r++ {
+		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+			if m.ColIdx[k] < 0 || int(m.ColIdx[k]) >= m.Cols {
+				t.Fatalf("col index %d out of range", m.ColIdx[k])
+			}
+			if m.Vals[k] == 0 {
+				t.Fatal("zero stored value")
+			}
+		}
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("RNG must be deterministic")
+		}
+	}
+	if NewRNG(0).Next() == 0 {
+		t.Fatal("zero seed must be remapped")
+	}
+}
