@@ -24,6 +24,7 @@ func main() {
 		variant = flag.String("variant", "delta", "execution model: static|dyn-rr|+lb|+lb+mc|delta")
 		lanes   = flag.Int("lanes", 8, "compute lane count")
 		hints   = flag.String("hints", "exact", "work-hint fidelity: exact|noisy|none")
+		vet     = flag.Bool("vet", true, "statically verify the program before running (delta-vet)")
 		verbose = flag.Bool("v", false, "print every counter")
 	)
 	flag.Parse()
@@ -57,6 +58,7 @@ func main() {
 	w := nb.Build()
 	cfg, opts := v.Configure(config.Default8().WithLanes(*lanes))
 	opts.Hints = hm
+	opts.Vet = *vet
 	rep, err := baseline.RunCfg(cfg, opts, w.Prog, w.Storage)
 	if err != nil {
 		fatalf("run: %v", err)

@@ -1,0 +1,53 @@
+// delta-vet runs the whole-program static verifier over the workload
+// suite (or one named workload) and reports every diagnostic. It is the
+// pre-flight correctness gate for workload changes: exit status 1 means
+// at least one diagnostic fired.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"taskstream/internal/analysis"
+	"taskstream/internal/config"
+	"taskstream/internal/workload"
+)
+
+func main() {
+	name := flag.String("workload", "", "vet a single workload (default: whole suite)")
+	verbose := flag.Bool("v", false, "print per-workload status even when clean")
+	flag.Parse()
+
+	builders := workload.Suite()
+	if *name != "" {
+		nb := workload.ByName(*name)
+		if nb == nil {
+			fmt.Fprintf(os.Stderr, "delta-vet: unknown workload %q\n", *name)
+			os.Exit(2)
+		}
+		builders = []workload.NamedBuilder{*nb}
+	}
+
+	opts := analysis.Options{NumPorts: config.Default8().Fabric.NumPorts}
+	total, errs, warns := 0, 0, 0
+	for _, nb := range builders {
+		w := nb.Build()
+		rep := analysis.AnalyzeOpts(w.Prog, opts)
+		errs += rep.Errors()
+		warns += rep.Warnings()
+		total += len(rep.Diags)
+		if !rep.Empty() {
+			fmt.Print(rep.String())
+		} else if *verbose {
+			fmt.Printf("%-12s %4d tasks  %2d types  clean\n",
+				nb.Name, len(w.Prog.Tasks), len(w.Prog.Types))
+		}
+	}
+	if total > 0 {
+		fmt.Printf("delta-vet: %d diagnostic(s) (%d error(s), %d warning(s)) across %d workload(s)\n",
+			total, errs, warns, len(builders))
+		os.Exit(1)
+	}
+	fmt.Printf("delta-vet: all clean (%d workload(s))\n", len(builders))
+}

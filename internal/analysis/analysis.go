@@ -1,0 +1,550 @@
+// Package analysis implements delta-vet: a whole-program static
+// verifier for TaskStream programs. The paper's claim is that a few
+// dependence annotations — work hints, forward tags, shared-read marks
+// — are sufficient for the hardware to recover inter-task structure.
+// The flip side is that a mis-annotated program fails silently: a
+// dangling tag deadlocks or faults at dispatch, overlapping output
+// regions make results dispatch-order dependent, a dead shared mark
+// quietly forfeits multicast, and a low work hint quietly wrecks load
+// balance. This pass rebuilds the structure the coordinator would
+// recover — the forward-tag graph, the per-phase memory footprint, the
+// multicast groups — from the Program alone and reports typed,
+// positioned diagnostics before any cycle is simulated.
+//
+// Scope: the analysis covers the initial task list. Tasks spawned at
+// run time (hierarchical dataflow, e.g. the BFS frontier) are outside
+// the static view; their annotations are validated per-task when they
+// arrive at the coordinator.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"taskstream/internal/core"
+	"taskstream/internal/fabric"
+	"taskstream/internal/mem"
+)
+
+// Options tune program-independent analyzer limits.
+type Options struct {
+	// NumPorts, when positive, is the fabric's physical input/output
+	// port count; tasks using more ports are reported. 0 disables the
+	// check (program-only analysis with no target machine in mind).
+	NumPorts int
+	// HintSkew is the work-hint divergence factor; hints more than
+	// HintSkew× below the statically derivable element count are
+	// reported. 0 means the default of 10.
+	HintSkew int64
+}
+
+// Analyze runs every check with default options.
+func Analyze(p *core.Program) *Report { return AnalyzeOpts(p, Options{}) }
+
+// AnalyzeOpts runs every check and returns the collected diagnostics.
+// Unlike Program.Validate it never stops at the first problem, needs no
+// kernels (it is purely structural), and reasons across tasks.
+func AnalyzeOpts(p *core.Program, opts Options) *Report {
+	if opts.HintSkew <= 0 {
+		opts.HintSkew = 10
+	}
+	a := &analyzer{prog: p, opts: opts, rep: &Report{Program: p.Name}}
+	a.checkTypes()
+	a.checkTasks()
+	a.checkTags()
+	a.checkRegions()
+	return a.rep
+}
+
+type analyzer struct {
+	prog *core.Program
+	opts Options
+	rep  *Report
+}
+
+// typeName returns a task's type name, tolerating out-of-range types.
+func (a *analyzer) typeName(t *core.Task) string {
+	if t.Type >= 0 && t.Type < len(a.prog.Types) {
+		return a.prog.Types[t.Type].Name
+	}
+	return ""
+}
+
+// taskDiag positions a diagnostic at task index ti, port port.
+func (a *analyzer) taskDiag(code Code, sev Severity, ti, port int, format string, args ...any) {
+	t := &a.prog.Tasks[ti]
+	a.rep.add(Diagnostic{
+		Code: code, Sev: sev,
+		Task: ti, Key: t.Key, Type: a.typeName(t), Phase: t.Phase, Port: port,
+		Msg: fmt.Sprintf(format, args...),
+	})
+}
+
+// ---------------------------------------------------------------------
+// Check family 1: task types and their DFGs.
+
+func (a *analyzer) checkTypes() {
+	for _, tt := range a.prog.Types {
+		if tt.DFG == nil {
+			a.rep.add(Diagnostic{Code: CodeDFGInvalid, Sev: Error, Task: -1,
+				Type: tt.Name, Phase: -1, Port: -1, Msg: "task type has no DFG"})
+			continue
+		}
+		g := tt.DFG
+		if err := g.Validate(); err != nil {
+			a.rep.add(Diagnostic{Code: CodeDFGInvalid, Sev: Error, Task: -1,
+				Type: tt.Name, Phase: -1, Port: -1, Msg: err.Error()})
+			continue
+		}
+		// Reachability: mark every node and input port that transitively
+		// feeds an output. Anything unmarked is dead fabric.
+		reach := make([]bool, len(g.Nodes))
+		portUsed := make([]bool, g.NumIn)
+		var mark func(r fabric.PortRef)
+		mark = func(r fabric.PortRef) {
+			if r.IsPort() {
+				if pt := r.Port(); pt < len(portUsed) {
+					portUsed[pt] = true
+				}
+				return
+			}
+			i := int(r)
+			if reach[i] {
+				return
+			}
+			reach[i] = true
+			for _, in := range g.Nodes[i].In {
+				mark(in)
+			}
+		}
+		for _, r := range g.OutSrc {
+			mark(r)
+		}
+		for i, ok := range reach {
+			if !ok {
+				a.rep.add(Diagnostic{Code: CodeDFGUnreachable, Sev: Warn, Task: -1,
+					Type: tt.Name, Phase: -1, Port: -1,
+					Msg: fmt.Sprintf("node %d (%v) feeds no output port", i, g.Nodes[i].Op)})
+			}
+		}
+		for pt, ok := range portUsed {
+			if !ok {
+				a.rep.add(Diagnostic{Code: CodeDFGUnusedPort, Sev: Warn, Task: -1,
+					Type: tt.Name, Phase: -1, Port: pt,
+					Msg: "declared input port is read by no node or output"})
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Check family 2: per-task structure — port bounds, per-type port
+// signatures, shared-mark legality, work-hint plausibility.
+
+// portSig is the positional port shape of a task: kernels index their
+// in[][]/Out[][] slices by port, so every instance of a type must agree.
+type portSig struct {
+	ins, outs int
+	inActive  uint64
+	outActive uint64
+}
+
+func sigOf(t *core.Task) portSig {
+	s := portSig{ins: len(t.Ins), outs: len(t.Outs)}
+	for i, in := range t.Ins {
+		if in.Kind != core.ArgNone && i < 64 {
+			s.inActive |= 1 << uint(i)
+		}
+	}
+	for i, o := range t.Outs {
+		if o.Kind != core.OutNone && i < 64 {
+			s.outActive |= 1 << uint(i)
+		}
+	}
+	return s
+}
+
+func (a *analyzer) checkTasks() {
+	first := make(map[int]portSig)   // type → signature of first instance
+	firstAt := make(map[int]int)     // type → task index defining it
+	for ti := range a.prog.Tasks {
+		t := &a.prog.Tasks[ti]
+		if t.Type < 0 || t.Type >= len(a.prog.Types) {
+			a.taskDiag(CodeBadTask, Error, ti, -1, "type %d out of range (%d types)", t.Type, len(a.prog.Types))
+			continue
+		}
+		if t.Phase < 0 || t.Phase >= a.prog.NumPhases {
+			a.taskDiag(CodeBadTask, Error, ti, -1, "phase %d out of range (%d phases)", t.Phase, a.prog.NumPhases)
+		}
+		if np := a.opts.NumPorts; np > 0 && (len(t.Ins) > np || len(t.Outs) > np) {
+			a.taskDiag(CodePortOverflow, Error, ti, -1,
+				"%d in / %d out ports exceed the fabric's %d", len(t.Ins), len(t.Outs), np)
+		}
+		sig := sigOf(t)
+		if prev, ok := first[t.Type]; !ok {
+			first[t.Type], firstAt[t.Type] = sig, ti
+		} else if prev != sig {
+			a.taskDiag(CodePortSignature, Warn, ti, -1,
+				"port shape %d in/%d out (active %b/%b) differs from task %d's %d in/%d out (active %b/%b)",
+				sig.ins, sig.outs, sig.inActive, sig.outActive,
+				firstAt[t.Type], prev.ins, prev.outs, prev.inActive, prev.outActive)
+		}
+		a.checkShared(ti, t)
+		a.checkHint(ti, t)
+	}
+}
+
+func (a *analyzer) checkShared(ti int, t *core.Task) {
+	for pi, in := range t.Ins {
+		if !in.Shared {
+			continue
+		}
+		switch in.Kind {
+		case core.ArgDRAMLinear:
+			// Coalescing legality is phase-global; checkRegions decides.
+		case core.ArgDRAMAffine:
+			a.taskDiag(CodeSharedDead, Warn, ti, pi,
+				"Shared on an affine read never coalesces (the coalescer joins linear DRAM reads only)")
+		default:
+			a.taskDiag(CodeSharedIllegal, Error, ti, pi,
+				"Shared requires a linear/affine DRAM read, not %v", kindName(in.Kind))
+		}
+	}
+}
+
+// checkHint flags statically impossible work hints. The bound is
+// one-sided on purpose: a task's true work is at least its longest port
+// stream (the fabric must cycle every element through a port), so a
+// hint far below that is provably wrong. Hints far *above* the streamed
+// count are legal — compute-bound kernels (GEMM tiles, k-means distance
+// evaluations) perform many operations per streamed element.
+func (a *analyzer) checkHint(ti int, t *core.Task) {
+	if t.WorkHint <= 0 {
+		return
+	}
+	floor := 0
+	for _, in := range t.Ins {
+		if in.Kind != core.ArgNone && in.Kind != core.ArgConst && in.N > floor {
+			floor = in.N
+		}
+	}
+	for _, o := range t.Outs {
+		if o.Kind != core.OutNone && o.N > floor {
+			floor = o.N
+		}
+	}
+	if floor > 0 && t.WorkHint*a.opts.HintSkew < int64(floor) {
+		a.taskDiag(CodeHintSkew, Error, ti, -1,
+			"work hint %d is over %d× below the %d-element port floor; load balancing will treat this task as near-free",
+			t.WorkHint, a.opts.HintSkew, floor)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Check family 3: the forward-tag graph.
+
+type endpoint struct{ task, port int }
+
+func (a *analyzer) checkTags() {
+	prods := make(map[uint64][]endpoint)
+	cons := make(map[uint64][]endpoint)
+	for ti := range a.prog.Tasks {
+		t := &a.prog.Tasks[ti]
+		for pi, o := range t.Outs {
+			if o.Kind != core.OutForward {
+				continue
+			}
+			if o.Tag == 0 {
+				a.taskDiag(CodeBadTask, Error, ti, pi, "OutForward without a tag")
+				continue
+			}
+			prods[o.Tag] = append(prods[o.Tag], endpoint{ti, pi})
+		}
+		for pi, in := range t.Ins {
+			if in.Kind != core.ArgForwardIn {
+				continue
+			}
+			if in.Tag == 0 {
+				a.taskDiag(CodeDanglingConsumer, Error, ti, pi, "ArgForwardIn without a tag")
+				continue
+			}
+			cons[in.Tag] = append(cons[in.Tag], endpoint{ti, pi})
+		}
+	}
+
+	tags := make([]uint64, 0, len(prods)+len(cons))
+	seen := make(map[uint64]bool)
+	for tag := range prods {
+		tags = append(tags, tag)
+		seen[tag] = true
+	}
+	for tag := range cons {
+		if !seen[tag] {
+			tags = append(tags, tag)
+		}
+	}
+	sort.Slice(tags, func(i, j int) bool { return tags[i] < tags[j] })
+
+	// edges[u] lists same-phase consumer tasks of tags task u produces.
+	edges := make(map[int][]int)
+	for _, tag := range tags {
+		ps, cs := prods[tag], cons[tag]
+		if len(ps) == 0 {
+			for _, c := range cs {
+				a.taskDiag(CodeDanglingConsumer, Error, c.task, c.port,
+					"consumes tag %d, which no task produces", tag)
+			}
+			continue
+		}
+		if len(ps) > 1 {
+			others := make([]int, 0, len(ps)-1)
+			for _, p := range ps[:len(ps)-1] {
+				others = append(others, p.task)
+			}
+			a.taskDiag(CodeDupProducer, Error, ps[len(ps)-1].task, ps[len(ps)-1].port,
+				"tag %d is also produced by task(s) %v; one stream will overwrite the other", tag, others)
+		}
+		if len(cs) == 0 {
+			a.taskDiag(CodeUnconsumed, Warn, ps[0].task, ps[0].port,
+				"tag %d is consumed by no task; the stream always falls back to memory", tag)
+			continue
+		}
+		if len(cs) > 1 {
+			a.taskDiag(CodeMultiConsumer, Warn, cs[len(cs)-1].task, cs[len(cs)-1].port,
+				"tag %d has %d consumers; at most one can be paired for forwarding", tag, len(cs))
+		}
+		p := ps[0]
+		po := &a.prog.Tasks[p.task].Outs[p.port]
+		for _, c := range cs {
+			ct := &a.prog.Tasks[c.task]
+			ci := &ct.Ins[c.port]
+			if pt := a.prog.Tasks[p.task].Phase; pt > ct.Phase {
+				a.taskDiag(CodePhaseOrder, Error, c.task, c.port,
+					"consumes tag %d in phase %d, but it is produced in phase %d", tag, ct.Phase, pt)
+			} else if pt == ct.Phase {
+				edges[p.task] = append(edges[p.task], c.task)
+			}
+			if ci.Base != po.Base {
+				a.taskDiag(CodeFallbackMismatch, Error, c.task, c.port,
+					"fallback base %#x differs from producer task %d's %#x for tag %d",
+					uint64(ci.Base), p.task, uint64(po.Base), tag)
+			} else if po.N >= 0 && ci.N != po.N {
+				a.taskDiag(CodeFallbackMismatch, Error, c.task, c.port,
+					"fallback length %d differs from producer task %d's %d for tag %d",
+					ci.N, p.task, po.N, tag)
+			}
+		}
+	}
+	a.findCycles(edges)
+}
+
+// findCycles reports each same-phase tag cycle once. Within one phase
+// neither end of a cyclic tag chain can resolve first: a static
+// deadlock (with forwarding enabled no forward group can form; with it
+// disabled every member waits on memory that is never written).
+func (a *analyzer) findCycles(edges map[int][]int) {
+	const (
+		white = iota
+		grey
+		black
+	)
+	color := make(map[int]int)
+	var stack []int
+	nodes := make([]int, 0, len(edges))
+	for u := range edges {
+		nodes = append(nodes, u)
+	}
+	sort.Ints(nodes)
+	var dfs func(u int)
+	dfs = func(u int) {
+		color[u] = grey
+		stack = append(stack, u)
+		for _, v := range edges[u] {
+			switch color[v] {
+			case white:
+				dfs(v)
+			case grey:
+				// Slice the cycle out of the DFS stack.
+				start := len(stack) - 1
+				for start >= 0 && stack[start] != v {
+					start--
+				}
+				cyc := append([]int(nil), stack[start:]...)
+				a.taskDiag(CodeTagCycle, Error, v, -1,
+					"same-phase forward-tag cycle through tasks %v: no member can be resolved first", cyc)
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[u] = black
+	}
+	for _, u := range nodes {
+		if color[u] == white {
+			dfs(u)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Check family 4: per-phase memory-region analysis — output/output
+// overlap, write/read races, and shared-read coalescing.
+
+// region is a statically sized [lo, hi) byte range one task port touches.
+type region struct {
+	task, port int
+	lo, hi     mem.Addr
+}
+
+// mcKey mirrors the multicast manager's group key: shared reads
+// coalesce only on an exact (base, length) match.
+type mcKey struct {
+	base mem.Addr
+	n    int
+}
+
+func (a *analyzer) checkRegions() {
+	phases := a.prog.NumPhases
+	if phases <= 0 {
+		return
+	}
+	writes := make([][]region, phases)
+	reads := make([][]region, phases)
+	shared := make([]map[mcKey][]endpoint, phases)
+	for ti := range a.prog.Tasks {
+		t := &a.prog.Tasks[ti]
+		ph := t.Phase
+		if ph < 0 || ph >= phases {
+			continue // reported by checkTasks
+		}
+		for pi, o := range t.Outs {
+			// N < 0 means kernel-determined extent: statically unknown,
+			// skipped. OutDiscard/OutNone touch no memory.
+			if o.N <= 0 {
+				continue
+			}
+			switch o.Kind {
+			case core.OutDRAMLinear, core.OutSpadLinear, core.OutForward:
+				writes[ph] = append(writes[ph], span(ti, pi, o.Base, o.N))
+			}
+		}
+		for pi, in := range t.Ins {
+			switch in.Kind {
+			case core.ArgDRAMLinear, core.ArgSpadLinear:
+				if in.N > 0 {
+					reads[ph] = append(reads[ph], span(ti, pi, in.Base, in.N))
+					if in.Shared && in.Kind == core.ArgDRAMLinear {
+						if shared[ph] == nil {
+							shared[ph] = make(map[mcKey][]endpoint)
+						}
+						k := mcKey{in.Base, in.N}
+						shared[ph][k] = append(shared[ph][k], endpoint{ti, pi})
+					}
+				}
+			case core.ArgDRAMAffine:
+				if in.Rows > 0 && in.RowLen > 0 {
+					if in.Pitch == in.RowLen {
+						reads[ph] = append(reads[ph], span(ti, pi, in.Base, in.Rows*in.RowLen))
+					} else {
+						for r := 0; r < in.Rows; r++ {
+							base := in.Base + mem.Addr(r*in.Pitch*mem.ElemBytes)
+							reads[ph] = append(reads[ph], span(ti, pi, base, in.RowLen))
+						}
+					}
+				}
+			case core.ArgDRAMGather, core.ArgSpadGather:
+				// The gathered data addresses are run-time values; only
+				// the index array itself is statically known.
+				if in.N > 0 {
+					reads[ph] = append(reads[ph], span(ti, pi, in.IdxBase, in.N))
+				}
+			case core.ArgForwardIn:
+				// The fallback read is ordered behind the producer's
+				// write by the tag dependence; checkTags verifies the
+				// pairing, so it is not a race.
+			}
+		}
+	}
+	for ph := 0; ph < phases; ph++ {
+		a.checkPhaseOverlaps(writes[ph], reads[ph])
+		keys := make([]mcKey, 0, len(shared[ph]))
+		for k := range shared[ph] {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			return keys[i].base < keys[j].base || (keys[i].base == keys[j].base && keys[i].n < keys[j].n)
+		})
+		for _, k := range keys {
+			if eps := shared[ph][k]; len(eps) == 1 {
+				a.taskDiag(CodeSharedDead, Warn, eps[0].task, eps[0].port,
+					"no other task in phase %d shares the read of [%#x, +%d elems); the mark never coalesces",
+					ph, uint64(k.base), k.n)
+			}
+		}
+	}
+}
+
+func span(task, port int, base mem.Addr, n int) region {
+	return region{task: task, port: port, lo: base, hi: base + mem.Addr(n*mem.ElemBytes)}
+}
+
+// checkPhaseOverlaps reports write/write and write/read interval
+// overlaps among one phase's regions via a sort-and-scan sweep.
+func (a *analyzer) checkPhaseOverlaps(writes, reads []region) {
+	if len(writes) == 0 {
+		return
+	}
+	sort.Slice(writes, func(i, j int) bool { return writes[i].lo < writes[j].lo })
+	for i := range writes {
+		for j := i + 1; j < len(writes) && writes[j].lo < writes[i].hi; j++ {
+			w, x := writes[i], writes[j]
+			if w.task == x.task {
+				a.taskDiag(CodeOutputOverlap, Error, w.task, x.port,
+					"output overlaps the same task's out port %d ([%#x,%#x) vs [%#x,%#x))",
+					w.port, uint64(x.lo), uint64(x.hi), uint64(w.lo), uint64(w.hi))
+			} else {
+				a.taskDiag(CodeOutputOverlap, Error, x.task, x.port,
+					"output [%#x,%#x) overlaps task %d's output [%#x,%#x) in the same phase",
+					uint64(x.lo), uint64(x.hi), w.task, uint64(w.lo), uint64(w.hi))
+			}
+		}
+	}
+	for _, rd := range reads {
+		// First write that could overlap: the one before the first with
+		// lo >= rd.hi is not enough — binary search the first write whose
+		// lo is past rd.hi, then walk left while intervals can reach rd.
+		// Writes are sorted by lo but his are unordered, so walk the
+		// candidate prefix.
+		end := sort.Search(len(writes), func(i int) bool { return writes[i].lo >= rd.hi })
+		for i := 0; i < end; i++ {
+			w := writes[i]
+			if w.hi <= rd.lo || w.task == rd.task {
+				continue
+			}
+			a.taskDiag(CodeWriteRead, Error, rd.task, rd.port,
+				"reads [%#x,%#x), which task %d writes ([%#x,%#x)) in the same phase",
+				uint64(rd.lo), uint64(rd.hi), w.task, uint64(w.lo), uint64(w.hi))
+		}
+	}
+}
+
+// kindName names an ArgKind for messages.
+func kindName(k core.ArgKind) string {
+	switch k {
+	case core.ArgNone:
+		return "ArgNone"
+	case core.ArgDRAMLinear:
+		return "ArgDRAMLinear"
+	case core.ArgDRAMAffine:
+		return "ArgDRAMAffine"
+	case core.ArgDRAMGather:
+		return "ArgDRAMGather"
+	case core.ArgSpadLinear:
+		return "ArgSpadLinear"
+	case core.ArgSpadGather:
+		return "ArgSpadGather"
+	case core.ArgConst:
+		return "ArgConst"
+	case core.ArgForwardIn:
+		return "ArgForwardIn"
+	}
+	return fmt.Sprintf("ArgKind(%d)", k)
+}

@@ -1,0 +1,253 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"taskstream/internal/analysis"
+	"taskstream/internal/config"
+	"taskstream/internal/core"
+	"taskstream/internal/fabric"
+	"taskstream/internal/workload"
+)
+
+// TestSuiteVetClean is the golden gate: every workload in the suite
+// must produce zero diagnostics on the default machine shape.
+func TestSuiteVetClean(t *testing.T) {
+	opts := analysis.Options{NumPorts: config.Default8().Fabric.NumPorts}
+	for _, nb := range workload.Suite() {
+		w := nb.Build()
+		rep := analysis.AnalyzeOpts(w.Prog, opts)
+		if !rep.Empty() {
+			t.Errorf("%s: expected clean, got:\n%s", nb.Name, rep.String())
+		}
+	}
+}
+
+// passDFG is the minimal valid graph: one input passed to one output.
+func passDFG() *fabric.DFG {
+	b := fabric.NewBuilder("pass", 1, 1)
+	b.Out(0, fabric.InPort(0))
+	return b.MustBuild()
+}
+
+// fix builds a fixture program. Three types (all sharing the trivial
+// DFG) are provided so tasks with different port shapes can use
+// different types without tripping the port-signature check.
+func fix(tasks ...core.Task) *core.Program {
+	return &core.Program{
+		Name: "fixture",
+		Types: []*core.TaskType{
+			{Name: "alpha", DFG: passDFG()},
+			{Name: "beta", DFG: passDFG()},
+			{Name: "gamma", DFG: passDFG()},
+		},
+		Tasks:     tasks,
+		NumPhases: 4,
+	}
+}
+
+func TestNegativeFixtures(t *testing.T) {
+	cases := []struct {
+		name string
+		prog *core.Program
+		opts analysis.Options
+		code analysis.Code
+		sev  analysis.Severity
+	}{
+		{
+			name: "dangling forward tag",
+			prog: fix(core.Task{Ins: []core.InArg{
+				{Kind: core.ArgForwardIn, Tag: 7, Base: 0x1000, N: 8}}}),
+			code: analysis.CodeDanglingConsumer, sev: analysis.Error,
+		},
+		{
+			name: "same-phase tag cycle",
+			prog: fix(
+				core.Task{Phase: 1,
+					Ins:  []core.InArg{{Kind: core.ArgForwardIn, Tag: 2, Base: 0x2000, N: 8}},
+					Outs: []core.OutArg{{Kind: core.OutForward, Tag: 1, Base: 0x1000, N: 8}}},
+				core.Task{Phase: 1,
+					Ins:  []core.InArg{{Kind: core.ArgForwardIn, Tag: 1, Base: 0x1000, N: 8}},
+					Outs: []core.OutArg{{Kind: core.OutForward, Tag: 2, Base: 0x2000, N: 8}}},
+			),
+			code: analysis.CodeTagCycle, sev: analysis.Error,
+		},
+		{
+			name: "overlapping output regions",
+			prog: fix(
+				core.Task{Outs: []core.OutArg{{Kind: core.OutDRAMLinear, Base: 0x1000, N: 16}}},
+				core.Task{Outs: []core.OutArg{{Kind: core.OutDRAMLinear, Base: 0x1040, N: 16}}},
+			),
+			code: analysis.CodeOutputOverlap, sev: analysis.Error,
+		},
+		{
+			name: "illegal shared mark",
+			prog: fix(core.Task{Ins: []core.InArg{
+				{Kind: core.ArgDRAMGather, Base: 0x1000, IdxBase: 0x2000, N: 8, Shared: true}}}),
+			code: analysis.CodeSharedIllegal, sev: analysis.Error,
+		},
+		{
+			name: "work-hint skew",
+			prog: fix(core.Task{WorkHint: 5, Ins: []core.InArg{
+				{Kind: core.ArgDRAMLinear, Base: 0x1000, N: 1000}}}),
+			code: analysis.CodeHintSkew, sev: analysis.Error,
+		},
+		{
+			name: "duplicate producer",
+			prog: fix(
+				core.Task{Phase: 0, Outs: []core.OutArg{{Kind: core.OutForward, Tag: 5, Base: 0x1000, N: 8}}},
+				core.Task{Phase: 1, Outs: []core.OutArg{{Kind: core.OutForward, Tag: 5, Base: 0x3000, N: 8}}},
+				core.Task{Type: 1, Phase: 2, Ins: []core.InArg{
+					{Kind: core.ArgForwardIn, Tag: 5, Base: 0x1000, N: 8}}},
+			),
+			code: analysis.CodeDupProducer, sev: analysis.Error,
+		},
+		{
+			name: "fallback mismatch",
+			prog: fix(
+				core.Task{Phase: 0, Outs: []core.OutArg{{Kind: core.OutForward, Tag: 3, Base: 0x1000, N: 8}}},
+				core.Task{Type: 1, Phase: 1, Ins: []core.InArg{
+					{Kind: core.ArgForwardIn, Tag: 3, Base: 0x2000, N: 8}}},
+			),
+			code: analysis.CodeFallbackMismatch, sev: analysis.Error,
+		},
+		{
+			name: "phase order",
+			prog: fix(
+				core.Task{Phase: 2, Outs: []core.OutArg{{Kind: core.OutForward, Tag: 4, Base: 0x1000, N: 8}}},
+				core.Task{Type: 1, Phase: 1, Ins: []core.InArg{
+					{Kind: core.ArgForwardIn, Tag: 4, Base: 0x1000, N: 8}}},
+			),
+			code: analysis.CodePhaseOrder, sev: analysis.Error,
+		},
+		{
+			name: "write-read race",
+			prog: fix(
+				core.Task{Outs: []core.OutArg{{Kind: core.OutDRAMLinear, Base: 0x1000, N: 16}}},
+				core.Task{Type: 1, Ins: []core.InArg{
+					{Kind: core.ArgDRAMLinear, Base: 0x1000, N: 16}}},
+			),
+			code: analysis.CodeWriteRead, sev: analysis.Error,
+		},
+		{
+			name: "port overflow",
+			prog: fix(core.Task{Ins: []core.InArg{
+				{Kind: core.ArgDRAMLinear, Base: 0x1000, N: 8},
+				{Kind: core.ArgDRAMLinear, Base: 0x2000, N: 8},
+				{Kind: core.ArgDRAMLinear, Base: 0x3000, N: 8},
+				{Kind: core.ArgDRAMLinear, Base: 0x4000, N: 8},
+				{Kind: core.ArgDRAMLinear, Base: 0x5000, N: 8}}}),
+			opts: analysis.Options{NumPorts: 4},
+			code: analysis.CodePortOverflow, sev: analysis.Error,
+		},
+		{
+			name: "unconsumed producer",
+			prog: fix(core.Task{Outs: []core.OutArg{
+				{Kind: core.OutForward, Tag: 9, Base: 0x1000, N: 8}}}),
+			code: analysis.CodeUnconsumed, sev: analysis.Warn,
+		},
+		{
+			name: "uncoalesced shared read",
+			prog: fix(core.Task{Ins: []core.InArg{
+				{Kind: core.ArgDRAMLinear, Base: 0x1000, N: 64, Shared: true}}}),
+			code: analysis.CodeSharedDead, sev: analysis.Warn,
+		},
+		{
+			name: "shared affine read",
+			prog: fix(core.Task{Ins: []core.InArg{
+				{Kind: core.ArgDRAMAffine, Base: 0x1000, Rows: 4, RowLen: 16, Pitch: 16, N: 64, Shared: true}}}),
+			code: analysis.CodeSharedDead, sev: analysis.Warn,
+		},
+		{
+			name: "port signature drift",
+			prog: fix(
+				core.Task{Ins: []core.InArg{{Kind: core.ArgDRAMLinear, Base: 0x1000, N: 8}}},
+				core.Task{},
+			),
+			code: analysis.CodePortSignature, sev: analysis.Warn,
+		},
+		{
+			name: "bad phase",
+			prog: fix(core.Task{Phase: 99}),
+			code: analysis.CodeBadTask, sev: analysis.Error,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := analysis.AnalyzeOpts(tc.prog, tc.opts)
+			if len(rep.Diags) != 1 {
+				t.Fatalf("want exactly 1 diagnostic, got %d:\n%s", len(rep.Diags), rep.String())
+			}
+			d := rep.Diags[0]
+			if d.Code != tc.code {
+				t.Errorf("code = %s, want %s (%s)", d.Code, tc.code, d)
+			}
+			if d.Sev != tc.sev {
+				t.Errorf("severity = %s, want %s (%s)", d.Sev, tc.sev, d)
+			}
+			if got := rep.ByCode(tc.code); len(got) != 1 {
+				t.Errorf("ByCode(%s) = %d diagnostics, want 1", tc.code, len(got))
+			}
+		})
+	}
+}
+
+// TestDFGDiagnostics covers the type-level structural checks, which
+// fire with no task instances at all.
+func TestDFGDiagnostics(t *testing.T) {
+	t.Run("unreachable node", func(t *testing.T) {
+		b := fabric.NewBuilder("dead-node", 1, 1)
+		live := b.Add(fabric.OpAdd, fabric.InPort(0), fabric.InPort(0))
+		b.Add(fabric.OpAdd, fabric.InPort(0), fabric.InPort(0)) // dead
+		b.Out(0, live)
+		p := &core.Program{Name: "fixture", NumPhases: 1,
+			Types: []*core.TaskType{{Name: "alpha", DFG: b.MustBuild()}}}
+		rep := analysis.Analyze(p)
+		if len(rep.Diags) != 1 || rep.Diags[0].Code != analysis.CodeDFGUnreachable {
+			t.Fatalf("want one %s, got:\n%s", analysis.CodeDFGUnreachable, rep.String())
+		}
+	})
+	t.Run("unused input port", func(t *testing.T) {
+		b := fabric.NewBuilder("dead-port", 2, 1)
+		b.Out(0, fabric.InPort(0)) // port 1 never read
+		p := &core.Program{Name: "fixture", NumPhases: 1,
+			Types: []*core.TaskType{{Name: "alpha", DFG: b.MustBuild()}}}
+		rep := analysis.Analyze(p)
+		if len(rep.Diags) != 1 || rep.Diags[0].Code != analysis.CodeDFGUnusedPort {
+			t.Fatalf("want one %s, got:\n%s", analysis.CodeDFGUnusedPort, rep.String())
+		}
+		if rep.Diags[0].Port != 1 {
+			t.Errorf("port = %d, want 1", rep.Diags[0].Port)
+		}
+	})
+	t.Run("missing DFG", func(t *testing.T) {
+		p := &core.Program{Name: "fixture", NumPhases: 1,
+			Types: []*core.TaskType{{Name: "alpha"}}}
+		rep := analysis.Analyze(p)
+		if len(rep.Diags) != 1 || rep.Diags[0].Code != analysis.CodeDFGInvalid {
+			t.Fatalf("want one %s, got:\n%s", analysis.CodeDFGInvalid, rep.String())
+		}
+	})
+}
+
+// TestMachineVetOption exercises the NewMachine wiring: a clean suite
+// program passes with Vet set; the same program with a statically
+// impossible work hint is rejected before any hardware is built.
+func TestMachineVetOption(t *testing.T) {
+	cfg := config.Default8()
+	w := workload.ByName("gemm").Build()
+	if _, err := core.NewMachine(cfg, w.Prog, w.Storage, core.Options{Vet: true}); err != nil {
+		t.Fatalf("clean program rejected: %v", err)
+	}
+
+	bad := workload.ByName("gemm").Build()
+	bad.Prog.Tasks[0].WorkHint = 1 // far below the streamed tile size
+	_, err := core.NewMachine(cfg, bad.Prog, bad.Storage, core.Options{Vet: true})
+	if err == nil {
+		t.Fatal("mis-hinted program accepted with Vet set")
+	}
+	if !strings.Contains(err.Error(), string(analysis.CodeHintSkew)) {
+		t.Errorf("error does not carry %s: %v", analysis.CodeHintSkew, err)
+	}
+}

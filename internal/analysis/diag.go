@@ -1,0 +1,203 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Severity ranks a diagnostic.
+type Severity uint8
+
+const (
+	// Warn marks dead annotations and suspicious structure: the program
+	// still computes the right answer, but an annotation does nothing
+	// (or does less than the author believed) and the schedule quietly
+	// degrades — the failure mode the paper's sensitivity experiments
+	// sweep deliberately.
+	Warn Severity = iota
+	// Error marks structure that produces wrong results, deadlock, or a
+	// runtime fault once the program is dispatched.
+	Error
+)
+
+func (s Severity) String() string {
+	if s == Error {
+		return "error"
+	}
+	return "warn"
+}
+
+// Code identifies one diagnostic category. Codes are stable strings so
+// tests, CI logs, and docs can reference them.
+type Code string
+
+// Diagnostic codes, grouped by check family.
+const (
+	// Forward-tag graph (fwd-*): the producer/consumer structure
+	// declared by OutForward / ArgForwardIn tags.
+
+	// CodeDanglingConsumer: an ArgForwardIn names a tag no task
+	// produces (or carries tag 0). The consumer can never resolve.
+	CodeDanglingConsumer Code = "fwd-dangling-consumer"
+	// CodeDupProducer: two or more tasks produce the same tag; the
+	// coordinator's tag table holds one stream per tag, so one
+	// producer's data silently overwrites the other's.
+	CodeDupProducer Code = "fwd-duplicate-producer"
+	// CodePhaseOrder: a tag is produced in a later phase than it is
+	// consumed — the consumer dispatches before its data can exist.
+	CodePhaseOrder Code = "fwd-phase-order"
+	// CodeTagCycle: tasks in the same phase form a tag cycle; no
+	// member can resolve first, a static deadlock.
+	CodeTagCycle Code = "fwd-phase-cycle"
+	// CodeUnconsumed: an OutForward tag no task consumes — a dead
+	// annotation; the stream always falls back to memory.
+	CodeUnconsumed Code = "fwd-unconsumed-producer"
+	// CodeMultiConsumer: a tag consumed by several tasks; only one can
+	// be paired for forwarding, the rest read the memory fallback.
+	CodeMultiConsumer Code = "fwd-multi-consumer"
+	// CodeFallbackMismatch: producer and consumer disagree on the
+	// memory-fallback region (base or length) backing a tag; with
+	// forwarding disabled the consumer reads the wrong data.
+	CodeFallbackMismatch Code = "fwd-fallback-mismatch"
+
+	// Memory regions (mem-*): interval-overlap analysis of statically
+	// sized regions touched by concurrently runnable (same-phase) tasks.
+
+	// CodeOutputOverlap: two output regions in the same phase overlap;
+	// the final contents depend on dispatch order.
+	CodeOutputOverlap Code = "mem-output-overlap"
+	// CodeWriteRead: a task reads a region another same-phase task
+	// writes; the value read depends on dispatch order.
+	CodeWriteRead Code = "mem-write-read-race"
+
+	// Multicast (mcast-*): shared-read marks.
+
+	// CodeSharedIllegal: Shared set on an ArgKind that cannot
+	// multicast at all (gathers, constants, forward-ins, scratchpad).
+	CodeSharedIllegal Code = "mcast-illegal-shared"
+	// CodeSharedDead: a Shared mark that can never coalesce — an
+	// affine read (the coalescer joins linear DRAM reads only), or a
+	// linear read whose exact (base, length) range no other task in
+	// the phase shares.
+	CodeSharedDead Code = "mcast-uncoalesced-shared"
+
+	// Work hints (hint-*).
+
+	// CodeHintSkew: an explicit WorkHint more than the skew factor
+	// (default 10×) below the statically derivable element count. A
+	// task's true work is bounded below by its longest port stream, so
+	// such a hint is statically impossible — the mis-annotation the
+	// E12 sensitivity sweep shows degrading load balance.
+	CodeHintSkew Code = "hint-skew"
+
+	// DFG / port structure (dfg-*).
+
+	// CodePortOverflow: a task uses more input or output ports than
+	// the fabric physically has; resolution would fault at dispatch.
+	CodePortOverflow Code = "dfg-port-overflow"
+	// CodePortSignature: instances of one task type disagree on port
+	// shape (count or active pattern); kernels index ports
+	// positionally, so divergent shapes indicate a construction bug.
+	CodePortSignature Code = "dfg-port-signature"
+	// CodeDFGUnreachable: a DFG node whose value reaches no output
+	// port — dead hardware in the mapped fabric configuration.
+	CodeDFGUnreachable Code = "dfg-unreachable-node"
+	// CodeDFGUnusedPort: a DFG input port no node or output reads.
+	CodeDFGUnusedPort Code = "dfg-unused-port"
+	// CodeDFGInvalid: the DFG itself fails structural validation.
+	CodeDFGInvalid Code = "dfg-invalid"
+
+	// CodeBadTask: a task that is malformed before structure can be
+	// analyzed (type/phase out of range, untagged OutForward).
+	CodeBadTask Code = "prog-bad-task"
+)
+
+// Diagnostic is one typed, positioned finding.
+type Diagnostic struct {
+	Code Code
+	Sev  Severity
+	// Task indexes Program.Tasks; -1 for program- or type-level findings.
+	Task int
+	// Key is the task's program-chosen identity (valid when Task >= 0).
+	Key uint64
+	// Type is the task type name ("" when not type-specific).
+	Type string
+	// Phase is the task's phase (-1 when not phase-specific).
+	Phase int
+	// Port is the input/output port index (-1 when not port-specific).
+	Port int
+	Msg  string
+}
+
+func (d Diagnostic) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s:", d.Sev, d.Code)
+	switch {
+	case d.Task >= 0:
+		fmt.Fprintf(&b, " task %d (key %d", d.Task, d.Key)
+		if d.Type != "" {
+			fmt.Fprintf(&b, ", %s", d.Type)
+		}
+		if d.Phase >= 0 {
+			fmt.Fprintf(&b, ", phase %d", d.Phase)
+		}
+		b.WriteByte(')')
+	case d.Type != "":
+		fmt.Fprintf(&b, " type %s", d.Type)
+	}
+	if d.Port >= 0 {
+		fmt.Fprintf(&b, " port %d", d.Port)
+	}
+	fmt.Fprintf(&b, ": %s", d.Msg)
+	return b.String()
+}
+
+// Report collects the diagnostics of one Analyze run.
+type Report struct {
+	Program string
+	Diags   []Diagnostic
+}
+
+func (r *Report) add(d Diagnostic) { r.Diags = append(r.Diags, d) }
+
+// Empty reports whether the program vetted clean.
+func (r *Report) Empty() bool { return len(r.Diags) == 0 }
+
+// Errors counts error-severity diagnostics.
+func (r *Report) Errors() int { return r.count(Error) }
+
+// Warnings counts warn-severity diagnostics.
+func (r *Report) Warnings() int { return r.count(Warn) }
+
+func (r *Report) count(s Severity) int {
+	n := 0
+	for _, d := range r.Diags {
+		if d.Sev == s {
+			n++
+		}
+	}
+	return n
+}
+
+// ByCode returns the diagnostics carrying the given code.
+func (r *Report) ByCode(c Code) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range r.Diags {
+		if d.Code == c {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// String renders one line per diagnostic, prefixed by the program name.
+func (r *Report) String() string {
+	if r.Empty() {
+		return fmt.Sprintf("%s: clean\n", r.Program)
+	}
+	var b strings.Builder
+	for _, d := range r.Diags {
+		fmt.Fprintf(&b, "%s: %s\n", r.Program, d.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,21 @@
+package analysis
+
+import (
+	"fmt"
+
+	"taskstream/internal/core"
+)
+
+// Vet runs the analyzer and fails if any error-severity diagnostic is
+// found. Warnings are tolerated: they mark dead annotations, not wrong
+// results. This is the function core.Options.Vet invokes.
+func Vet(p *core.Program, numPorts int) error {
+	rep := AnalyzeOpts(p, Options{NumPorts: numPorts})
+	if rep.Errors() == 0 {
+		return nil
+	}
+	return fmt.Errorf("analysis: program %q has %d error(s), %d warning(s):\n%s",
+		p.Name, rep.Errors(), rep.Warnings(), rep.String())
+}
+
+func init() { core.RegisterVetter(Vet) }

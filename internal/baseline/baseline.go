@@ -12,6 +12,10 @@ import (
 	"taskstream/internal/config"
 	"taskstream/internal/core"
 	"taskstream/internal/mem"
+
+	// Register the delta-vet verifier so every Configure'd run gets
+	// pre-flight checking via core.Options.Vet.
+	_ "taskstream/internal/analysis"
 )
 
 // Variant names one execution model in the Static→Delta spectrum.
@@ -54,29 +58,30 @@ func (v Variant) String() string {
 }
 
 // Configure returns the machine configuration and options realizing the
-// variant on top of the given datapath description.
+// variant on top of the given datapath description. Every variant vets
+// the program statically before wiring the machine (Options.Vet).
 func (v Variant) Configure(cfg config.Config) (config.Config, core.Options) {
 	switch v {
 	case Static:
-		return cfg.StaticModel(), core.Options{Policy: core.PolicyStatic}
+		return cfg.StaticModel(), core.Options{Policy: core.PolicyStatic, Vet: true}
 	case DynamicRR:
 		c := cfg.StaticModel()
-		return c, core.Options{Policy: core.PolicyDynamic}
+		return c, core.Options{Policy: core.PolicyDynamic, Vet: true}
 	case LB:
 		c := cfg.StaticModel()
 		c.Task.EnableWorkAwareLB = true
-		return c, core.Options{Policy: core.PolicyDynamic}
+		return c, core.Options{Policy: core.PolicyDynamic, Vet: true}
 	case LBMC:
 		c := cfg.StaticModel()
 		c.Task.EnableWorkAwareLB = true
 		c.Task.EnableMulticast = true
-		return c, core.Options{Policy: core.PolicyDynamic}
+		return c, core.Options{Policy: core.PolicyDynamic, Vet: true}
 	default:
 		c := cfg
 		c.Task.EnableWorkAwareLB = true
 		c.Task.EnableMulticast = true
 		c.Task.EnableForwarding = true
-		return c, core.Options{Policy: core.PolicyDynamic}
+		return c, core.Options{Policy: core.PolicyDynamic, Vet: true}
 	}
 }
 

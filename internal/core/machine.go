@@ -24,6 +24,10 @@ type Options struct {
 	MaxCycles sim.Cycle
 	// Trace, when non-nil, records task lifecycle events.
 	Trace *trace.Recorder
+	// Vet runs the registered whole-program static verifier (see
+	// RegisterVetter; internal/analysis provides it) before the machine
+	// is wired. NewMachine fails if the program does not vet clean.
+	Vet bool
 }
 
 // Machine is one fully wired accelerator instance executing one
@@ -71,6 +75,11 @@ func NewMachine(cfg config.Config, prog *Program, storage *mem.Storage, opts Opt
 	}
 	if err := prog.Validate(); err != nil {
 		return nil, err
+	}
+	if opts.Vet {
+		if err := runVet(prog, cfg.Fabric.NumPorts); err != nil {
+			return nil, err
+		}
 	}
 	topo := proto.Topology{Lanes: cfg.Lanes, Channels: cfg.DRAM.Channels}
 	if topo.Nodes() > noc.MaxNodes {

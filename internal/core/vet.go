@@ -1,0 +1,29 @@
+package core
+
+import "fmt"
+
+// Vetter is a whole-program static verifier: it inspects a Program's
+// inter-task structure (forward tags, memory regions, shared-read
+// marks, work hints) before any cycle is simulated. numPorts is the
+// fabric's physical port count, so the verifier can reject tasks that
+// could never be resolved onto the machine.
+//
+// The verifier lives in internal/analysis, which imports this package;
+// the indirection through RegisterVetter is what lets NewMachine invoke
+// it without an import cycle (the same pattern database/sql uses for
+// drivers). Importing internal/analysis — directly or through
+// internal/baseline — registers it.
+type Vetter func(p *Program, numPorts int) error
+
+var vetter Vetter
+
+// RegisterVetter installs the verifier run by Options.Vet.
+func RegisterVetter(v Vetter) { vetter = v }
+
+// runVet invokes the registered verifier.
+func runVet(p *Program, numPorts int) error {
+	if vetter == nil {
+		return fmt.Errorf("core: Options.Vet set but no verifier registered (import taskstream/internal/analysis)")
+	}
+	return vetter(p, numPorts)
+}

@@ -155,7 +155,9 @@ func E4Ablation() (Result, error) {
 				metrics["delta_"+nb.Name] = sp
 			}
 		}
-		tb.AddRow(row...)
+		if err := tb.AddRow(row...); err != nil {
+			return Result{}, err
+		}
 	}
 	metrics["geomean_delta"] = stats.Geomean(deltaSpeedups)
 	return Result{ID: "E4", Title: "Mechanism ablation",
@@ -380,7 +382,9 @@ func E12Hints() (Result, error) {
 			row = append(row, stats.I(rep.Cycles))
 			metrics[fmt.Sprintf("%s_h%d", name, h)] = float64(rep.Cycles)
 		}
-		tb.AddRow(row...)
+		if err := tb.AddRow(row...); err != nil {
+			return Result{}, err
+		}
 	}
 	return Result{ID: "E12", Title: "Hint fidelity", Tables: []*stats.Table{tb}, Metrics: metrics}, nil
 }

@@ -35,7 +35,9 @@ func E13QueueDepth() (Result, error) {
 				row = append(row, stats.I(r.Cycles))
 				metrics[fmt.Sprintf("%s_d%d_pf%v", name, depth, !noPf)] = float64(r.Cycles)
 			}
-			tb.AddRow(row...)
+			if err := tb.AddRow(row...); err != nil {
+				return Result{}, err
+			}
 		}
 		tables = append(tables, tb)
 	}

@@ -1,0 +1,66 @@
+package isa_test
+
+import (
+	"reflect"
+	"testing"
+
+	"taskstream/internal/isa"
+	"taskstream/internal/workload"
+)
+
+// seedTasks returns a diverse set of real encoded descriptors: SpMV
+// exercises gathers, scratchpad reads, and work hints; mergesort
+// exercises forward tags on both ports and kernel-determined (-1)
+// output lengths.
+func seedTasks(f *testing.F) [][]byte {
+	var seeds [][]byte
+	add := func(w *workload.Workload, limit int) {
+		for i, t := range w.Prog.Tasks {
+			if i >= limit {
+				break
+			}
+			buf, err := isa.EncodeTask(&w.Prog.Tasks[i])
+			if err != nil {
+				f.Fatalf("encoding seed task %d (%v): %v", i, t.Key, err)
+			}
+			seeds = append(seeds, buf)
+		}
+	}
+	add(workload.SpMV(workload.SpMVParams{Rows: 64, Cols: 64, Alpha: 1.5,
+		MinRow: 1, MaxRow: 16, RowsPerTask: 8, Clustered: true, Seed: 1}), 8)
+	add(workload.MergeSort(workload.SortParams{N: 256, Leaves: 4, Seed: 5}), 8)
+	return seeds
+}
+
+// FuzzDecodeTask checks that DecodeTask never lets its internal
+// panic/recover short path escape, and that any descriptor it accepts
+// is semantically stable: re-encoding the decoded task and decoding
+// again yields the identical task. (Byte-level identity is not
+// guaranteed — decode ignores padding bytes that encode zeroes.)
+func FuzzDecodeTask(f *testing.F) {
+	for _, buf := range seedTasks(f) {
+		f.Add(buf)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x54, 0x53, 0x4b, 0x31}) // magic only, truncated header
+	f.Fuzz(func(t *testing.T, data []byte) {
+		task, err := isa.DecodeTask(data)
+		if err != nil {
+			return
+		}
+		buf, err := isa.EncodeTask(task)
+		if err != nil {
+			// Every field DecodeTask can produce fits the descriptor
+			// limits (counts are single bytes, type/phase two), so an
+			// accepted descriptor must re-encode.
+			t.Fatalf("decoded task does not re-encode: %v", err)
+		}
+		again, err := isa.DecodeTask(buf)
+		if err != nil {
+			t.Fatalf("re-encoded descriptor does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(task, again) {
+			t.Fatalf("descriptor not semantically stable:\nfirst:  %+v\nsecond: %+v", task, again)
+		}
+	})
+}

@@ -169,14 +169,17 @@ func TestTableRendering(t *testing.T) {
 	}
 }
 
-func TestTableRowTooLongPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("want panic for oversized row")
-		}
-	}()
+func TestTableRowTooLongRejected(t *testing.T) {
 	tb := NewTable("x", "a")
-	tb.AddRow("1", "2")
+	if err := tb.AddRow("1", "2"); err == nil {
+		t.Fatal("want error for oversized row")
+	}
+	if tb.NumRows() != 0 {
+		t.Fatalf("rejected row was appended: NumRows = %d", tb.NumRows())
+	}
+	if err := tb.AddRow("1"); err != nil {
+		t.Fatalf("exact-width row rejected: %v", err)
+	}
 }
 
 func TestFormatters(t *testing.T) {

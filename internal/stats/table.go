@@ -19,15 +19,18 @@ func NewTable(title string, header ...string) *Table {
 	return &Table{title: title, header: header}
 }
 
-// AddRow appends a row. Short rows are padded with empty cells; long
-// rows panic, as that is always a harness bug.
-func (t *Table) AddRow(cells ...string) {
+// AddRow appends a row. Short rows are padded with empty cells; a row
+// longer than the header is rejected (and not appended), since it would
+// silently drop data — callers assembling rows dynamically should check
+// the error, statically shaped call sites may ignore it.
+func (t *Table) AddRow(cells ...string) error {
 	if len(cells) > len(t.header) {
-		panic(fmt.Sprintf("stats: row has %d cells, table has %d columns", len(cells), len(t.header)))
+		return fmt.Errorf("stats: row has %d cells, table %q has %d columns", len(cells), t.title, len(t.header))
 	}
 	row := make([]string, len(t.header))
 	copy(row, cells)
 	t.rows = append(t.rows, row)
+	return nil
 }
 
 // NumRows returns the number of data rows.
