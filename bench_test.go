@@ -1,5 +1,5 @@
 // Package taskstream's root benchmark harness exposes every evaluation
-// experiment (E1–E12, DESIGN.md §5) as a testing.B benchmark. Each
+// experiment (E1–E14, DESIGN.md §5) as a testing.B benchmark. Each
 // bench runs its experiment once per iteration and reports the
 // experiment's headline numbers as custom metrics, so
 //
@@ -9,8 +9,10 @@
 //
 //	go test -bench=BenchmarkE3 .
 //
-// regenerates just the headline figure. The per-workload benches at
-// the bottom time single simulator runs for profiling the simulator
+// regenerates just the headline figure. BenchmarkAllExperiments times
+// a full-suite regeneration at the serial and one-worker-per-CPU
+// settings (the delta-bench -j axis). The per-workload benches at the
+// bottom time single simulator runs for profiling the simulator
 // itself.
 package taskstream
 
@@ -20,6 +22,7 @@ import (
 	"taskstream/internal/baseline"
 	"taskstream/internal/config"
 	"taskstream/internal/experiments"
+	"taskstream/internal/parallel"
 	"taskstream/internal/workload"
 )
 
@@ -100,6 +103,23 @@ func BenchmarkE13_QueueDepth(b *testing.B) {
 func BenchmarkE14_Energy(b *testing.B) {
 	benchExperiment(b, experiments.E14Energy)
 }
+
+// benchAll regenerates the entire E-suite once per iteration at the
+// given worker budget — the wall-clock number behind delta-bench -j.
+func benchAll(b *testing.B, workers int) {
+	b.Helper()
+	old := experiments.Workers()
+	defer experiments.SetWorkers(old)
+	experiments.SetWorkers(workers)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.All(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAllExperimentsSerial(b *testing.B)   { benchAll(b, 1) }
+func BenchmarkAllExperimentsParallel(b *testing.B) { benchAll(b, parallel.DefaultWorkers()) }
 
 // Per-workload single-run benches: simulator throughput (wall time per
 // simulated run) for each suite workload under the full Delta model.

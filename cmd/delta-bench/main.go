@@ -1,10 +1,15 @@
 // delta-bench regenerates every table and figure of the evaluation
-// (experiments E1–E12 in DESIGN.md) and prints them as aligned text
-// tables. Select a subset with -only.
+// (experiments E1–E14 in DESIGN.md) and prints them as aligned text
+// tables. Select a subset with -only; fan independent simulations out
+// across CPUs with -j. Tables always appear on stdout in experiment
+// order and are byte-identical at any -j (timing lines go to stderr),
+// so `delta-bench > bench_results.txt` is reproducible however the run
+// was parallelized.
 //
 // Usage:
 //
-//	delta-bench            # everything (a few minutes)
+//	delta-bench            # everything, one simulation per CPU
+//	delta-bench -j 1       # strictly serial, today's single-core behavior
 //	delta-bench -only E3,E4
 package main
 
@@ -12,55 +17,81 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sort"
 	"strings"
 	"time"
 
 	"taskstream/internal/experiments"
+	"taskstream/internal/parallel"
 )
 
 func main() {
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. E3,E10)")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulations (1 = serial)")
 	flag.Parse()
+	if *jobs < 1 {
+		fmt.Fprintf(os.Stderr, "delta-bench: -j must be >= 1 (got %d)\n", *jobs)
+		os.Exit(1)
+	}
+	experiments.SetWorkers(*jobs)
 
+	sel, unknown := selectExperiments(*only)
+	if len(unknown) > 0 {
+		for _, id := range unknown {
+			fmt.Fprintf(os.Stderr, "delta-bench: unknown experiment id %q\n", id)
+		}
+		os.Exit(1)
+	}
+
+	// Experiments run concurrently when -j allows; the worker budget
+	// inside the experiments package bounds simulations in flight.
+	// Results print in experiment order regardless.
+	expWorkers := 1
+	if *jobs > 1 {
+		expWorkers = len(sel)
+	}
+	start := time.Now()
+	results, err := parallel.Map(expWorkers, sel, func(_ int, e experiments.Named) (experiments.Result, error) {
+		t0 := time.Now()
+		r, err := e.Fn()
+		if err != nil {
+			return experiments.Result{}, fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", e.ID, time.Since(t0).Round(time.Millisecond))
+		return r, nil
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "delta-bench: %v\n", err)
+		os.Exit(1)
+	}
+	for _, r := range results {
+		fmt.Print(r.Render())
+	}
+	fmt.Fprintf(os.Stderr, "[all done in %v, -j %d]\n", time.Since(start).Round(time.Millisecond), *jobs)
+}
+
+// selectExperiments resolves the -only flag (comma-separated ids,
+// case-insensitive, empty = everything) against the registry. The
+// returned selection preserves E-number order; ids that match no
+// experiment come back in unknown, sorted.
+func selectExperiments(only string) (sel []experiments.Named, unknown []string) {
 	want := map[string]bool{}
-	for _, id := range strings.Split(*only, ",") {
+	for _, id := range strings.Split(only, ",") {
 		if id = strings.TrimSpace(id); id != "" {
 			want[strings.ToUpper(id)] = true
 		}
 	}
-
-	fns := []struct {
-		id string
-		fn func() (experiments.Result, error)
-	}{
-		{"E1", experiments.E1Characterization},
-		{"E2", experiments.E2Configuration},
-		{"E3", experiments.E3Speedup},
-		{"E4", experiments.E4Ablation},
-		{"E5", experiments.E5Imbalance},
-		{"E6", experiments.E6Scaling},
-		{"E7", experiments.E7Granularity},
-		{"E8", experiments.E8Bandwidth},
-		{"E9", experiments.E9Traffic},
-		{"E10", experiments.E10Area},
-		{"E11", experiments.E11Window},
-		{"E12", experiments.E12Hints},
-		{"E13", experiments.E13QueueDepth},
-		{"E14", experiments.E14Energy},
+	all := len(want) == 0
+	for _, e := range experiments.Registry() {
+		if all || want[e.ID] {
+			sel = append(sel, e)
+			delete(want, e.ID)
+		}
 	}
-	for _, e := range fns {
-		if len(want) > 0 && !want[e.id] {
-			continue
-		}
-		start := time.Now()
-		r, err := e.fn()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "delta-bench: %s: %v\n", e.id, err)
-			os.Exit(1)
-		}
-		for _, tb := range r.Tables {
-			fmt.Println(tb.String())
-		}
-		fmt.Printf("[%s done in %v]\n\n", e.id, time.Since(start).Round(time.Millisecond))
+	for id := range want {
+		unknown = append(unknown, id)
 	}
+	sort.Strings(unknown)
+	return sel, unknown
 }

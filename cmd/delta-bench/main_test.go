@@ -1,0 +1,41 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSelectExperiments pins -only resolution. The regression case:
+// once every requested id has matched, the want set goes empty — that
+// must NOT flip the filter into select-everything mode for the rest of
+// the registry (E1,E10 used to drag in E11–E14).
+func TestSelectExperiments(t *testing.T) {
+	ids := func(only string) string {
+		sel, unknown := selectExperiments(only)
+		if len(unknown) > 0 {
+			t.Fatalf("selectExperiments(%q): unexpected unknown ids %v", only, unknown)
+		}
+		var got []string
+		for _, e := range sel {
+			got = append(got, e.ID)
+		}
+		return strings.Join(got, ",")
+	}
+
+	if got := ids("E1,E10"); got != "E1,E10" {
+		t.Errorf("-only E1,E10 selected %s", got)
+	}
+	if got := ids("E10,e1"); got != "E1,E10" { // registry order, case-insensitive
+		t.Errorf("-only E10,e1 selected %s", got)
+	}
+	if got := ids(" E3 , ,E3 "); got != "E3" { // whitespace + duplicates
+		t.Errorf("-only ' E3 , ,E3 ' selected %s", got)
+	}
+	if got := ids(""); !strings.HasPrefix(got, "E1,E2,") || !strings.HasSuffix(got, ",E14") {
+		t.Errorf("empty -only selected %s", got)
+	}
+
+	if _, unknown := selectExperiments("E3,E99,bogus"); strings.Join(unknown, ",") != "BOGUS,E99" {
+		t.Errorf("unknown ids = %v, want [BOGUS E99]", unknown)
+	}
+}

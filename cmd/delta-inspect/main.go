@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"taskstream/internal/baseline"
 	"taskstream/internal/config"
@@ -21,24 +22,77 @@ import (
 	"taskstream/internal/workload"
 )
 
+// options holds the parsed flag values; validate rejects bad ones
+// before any simulation or printing starts.
+type options struct {
+	workload string
+	variant  string
+	lanes    int
+	tasks    int
+	timeline bool
+}
+
+// validate checks every flag value up front, returning a usage-style
+// error naming the offending flag so main can exit 1 cleanly instead
+// of panicking or printing partial garbage mid-dump.
+func (o options) validate() error {
+	if workload.ByName(o.workload) == nil {
+		return fmt.Errorf("unknown workload %q (-workload must be one of: %s)",
+			o.workload, strings.Join(suiteNames(), ", "))
+	}
+	if _, err := variantByName(o.variant); err != nil {
+		return err
+	}
+	if o.lanes < 1 {
+		return fmt.Errorf("-lanes must be >= 1 (got %d)", o.lanes)
+	}
+	if o.tasks < 0 {
+		return fmt.Errorf("-tasks must be >= 0 (got %d)", o.tasks)
+	}
+	return nil
+}
+
+// variantByName resolves a variant display name.
+func variantByName(name string) (baseline.Variant, error) {
+	var names []string
+	for v := baseline.Static; v < baseline.NumVariants; v++ {
+		if v.String() == name {
+			return v, nil
+		}
+		names = append(names, v.String())
+	}
+	return 0, fmt.Errorf("unknown variant %q (-variant must be one of: %s)",
+		name, strings.Join(names, ", "))
+}
+
+func suiteNames() []string {
+	var names []string
+	for _, nb := range workload.Suite() {
+		names = append(names, nb.Name)
+	}
+	return names
+}
+
 func main() {
-	var (
-		name     = flag.String("workload", "spmv", "suite workload name")
-		variant  = flag.String("variant", "delta", "execution model variant")
-		lanes    = flag.Int("lanes", 8, "lane count")
-		nTasks   = flag.Int("tasks", 3, "sample task descriptors to dump")
-		timeline = flag.Bool("timeline", false, "render a per-lane occupancy timeline")
-	)
+	o := options{}
+	flag.StringVar(&o.workload, "workload", "spmv", "suite workload name")
+	flag.StringVar(&o.variant, "variant", "delta", "execution model variant")
+	flag.IntVar(&o.lanes, "lanes", 8, "lane count")
+	flag.IntVar(&o.tasks, "tasks", 3, "sample task descriptors to dump")
+	flag.BoolVar(&o.timeline, "timeline", false, "render a per-lane occupancy timeline")
 	flag.Parse()
 
-	nb := workload.ByName(*name)
-	if nb == nil {
-		fatalf("unknown workload %q", *name)
+	if err := o.validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "delta-inspect: %v\n", err)
+		flag.Usage()
+		os.Exit(1)
 	}
-	w := nb.Build()
-	cfg := config.Default8().WithLanes(*lanes)
 
-	fmt.Printf("== %s: task types ==\n", *name)
+	nb := workload.ByName(o.workload)
+	w := nb.Build()
+	cfg := config.Default8().WithLanes(o.lanes)
+
+	fmt.Printf("== %s: task types ==\n", o.workload)
 	for i, tt := range w.Prog.Types {
 		mp, err := fabric.Map(tt.DFG, cfg.Fabric.Rows, cfg.Fabric.Cols)
 		if err != nil {
@@ -49,7 +103,7 @@ func main() {
 	}
 
 	fmt.Printf("\n== sample task descriptors (TSK1 wire format) ==\n")
-	for i := 0; i < *nTasks && i < len(w.Prog.Tasks); i++ {
+	for i := 0; i < o.tasks && i < len(w.Prog.Tasks); i++ {
 		t := w.Prog.Tasks[i]
 		buf, err := isa.EncodeTask(&t)
 		if err != nil {
@@ -64,19 +118,10 @@ func main() {
 			rt.Key == t.Key)
 	}
 
-	var v baseline.Variant
-	found := false
-	for cand := baseline.Static; cand < baseline.NumVariants; cand++ {
-		if cand.String() == *variant {
-			v, found = cand, true
-		}
-	}
-	if !found {
-		fatalf("unknown variant %q", *variant)
-	}
+	v, _ := variantByName(o.variant)
 	mcfg, opts := v.Configure(cfg)
 	var rec *trace.Recorder
-	if *timeline {
+	if o.timeline {
 		rec = trace.New(200000)
 		opts.Trace = rec
 	}
@@ -88,7 +133,7 @@ func main() {
 		fatalf("verification: %v", err)
 	}
 
-	fmt.Printf("\n== run profile (%s, %d lanes) ==\n", *variant, *lanes)
+	fmt.Printf("\n== run profile (%s, %d lanes) ==\n", o.variant, o.lanes)
 	fmt.Printf("cycles %d, imbalance %.2f\n", rep.Cycles, stats.Imbalance(rep.LaneBusy))
 	for i, b := range rep.LaneBusy {
 		frac := float64(b) / float64(rep.Cycles)
@@ -103,7 +148,7 @@ func main() {
 
 	if rec != nil {
 		fmt.Println()
-		fmt.Print(rec.Timeline(*lanes, 100))
+		fmt.Print(rec.Timeline(o.lanes, 100))
 	}
 }
 

@@ -165,8 +165,8 @@ func sigOf(t *core.Task) portSig {
 }
 
 func (a *analyzer) checkTasks() {
-	first := make(map[int]portSig)   // type → signature of first instance
-	firstAt := make(map[int]int)     // type → task index defining it
+	first := make(map[int]portSig) // type → signature of first instance
+	firstAt := make(map[int]int)   // type → task index defining it
 	for ti := range a.prog.Tasks {
 		t := &a.prog.Tasks[ti]
 		if t.Type < 0 || t.Type >= len(a.prog.Types) {

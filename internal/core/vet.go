@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Vetter is a whole-program static verifier: it inspects a Program's
 // inter-task structure (forward tags, memory regions, shared-read
@@ -15,15 +18,29 @@ import "fmt"
 // internal/baseline — registers it.
 type Vetter func(p *Program, numPorts int) error
 
-var vetter Vetter
+// vetMu guards the registry: registration normally happens once from
+// an init func, but machines are constructed concurrently by the
+// parallel experiment harness, so the read side must be synchronized
+// too (go test -race covers this).
+var (
+	vetMu  sync.RWMutex
+	vetter Vetter
+)
 
 // RegisterVetter installs the verifier run by Options.Vet.
-func RegisterVetter(v Vetter) { vetter = v }
+func RegisterVetter(v Vetter) {
+	vetMu.Lock()
+	defer vetMu.Unlock()
+	vetter = v
+}
 
 // runVet invokes the registered verifier.
 func runVet(p *Program, numPorts int) error {
-	if vetter == nil {
+	vetMu.RLock()
+	v := vetter
+	vetMu.RUnlock()
+	if v == nil {
 		return fmt.Errorf("core: Options.Vet set but no verifier registered (import taskstream/internal/analysis)")
 	}
-	return vetter(p, numPorts)
+	return v(p, numPorts)
 }

@@ -1,19 +1,24 @@
 // Package experiments regenerates every table and figure of the
-// evaluation (DESIGN.md §5, E1–E12). Each experiment is a function
+// evaluation (DESIGN.md §5, E1–E14). Each experiment is a function
 // returning rendered tables plus machine-readable metrics; the
 // delta-bench command prints them and bench_test.go exposes them as
-// benchmarks. The experiment set is a reconstruction — see the
-// source-text caveat at the top of DESIGN.md.
+// benchmarks. Independent simulations inside each experiment fan out
+// across the worker budget set with SetWorkers (default 1 = serial);
+// results are assembled in program order, so output is byte-identical
+// at any worker count. The experiment set is a reconstruction — see
+// the source-text caveat at the top of DESIGN.md.
 package experiments
 
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"taskstream/internal/areamodel"
 	"taskstream/internal/baseline"
 	"taskstream/internal/config"
 	"taskstream/internal/core"
+	"taskstream/internal/parallel"
 	"taskstream/internal/stats"
 	"taskstream/internal/workload"
 )
@@ -26,6 +31,17 @@ type Result struct {
 	// Metrics carries the headline numbers for assertions and
 	// EXPERIMENTS.md (e.g. "geomean_speedup").
 	Metrics map[string]float64
+}
+
+// Render returns the result's tables exactly as delta-bench prints
+// them: each table followed by a blank line.
+func (r Result) Render() string {
+	var b strings.Builder
+	for _, tb := range r.Tables {
+		b.WriteString(tb.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
 }
 
 // IrregularNames lists the suite's irregular workloads (the regular
@@ -45,6 +61,43 @@ func run(nb workload.NamedBuilder, v baseline.Variant, cfg config.Config) (core.
 		return core.Report{}, fmt.Errorf("%s/%v: verification failed: %w", nb.Name, v, err)
 	}
 	return rep, nil
+}
+
+// job defers one run() for the fan-out helpers.
+func job(nb workload.NamedBuilder, v baseline.Variant, cfg config.Config) func() (core.Report, error) {
+	return func() (core.Report, error) { return run(nb, v, cfg) }
+}
+
+// suitePairs runs every workload in suite under both the static and
+// delta variants — the comparison most experiments need — fanning the
+// 2×len(suite) independent simulations across the worker budget.
+// static[i] and delta[i] correspond to suite[i].
+func suitePairs(suite []workload.NamedBuilder, cfg config.Config) (static, delta []core.Report, err error) {
+	jobs := make([]func() (core.Report, error), 0, 2*len(suite))
+	for _, nb := range suite {
+		jobs = append(jobs, job(nb, baseline.Static, cfg), job(nb, baseline.Delta, cfg))
+	}
+	reps, err := runJobs(jobs)
+	if err != nil {
+		return nil, nil, err
+	}
+	static = make([]core.Report, len(suite))
+	delta = make([]core.Report, len(suite))
+	for i := range suite {
+		static[i], delta[i] = reps[2*i], reps[2*i+1]
+	}
+	return static, delta, nil
+}
+
+// geomean is the harness's strict wrapper around stats.Geomean: a
+// skipped (non-positive) value means a degenerate per-workload result
+// and must fail the experiment rather than silently inflate the mean.
+func geomean(what string, vals []float64) (float64, error) {
+	g, skipped := stats.Geomean(vals)
+	if skipped > 0 {
+		return 0, fmt.Errorf("%s: geomean skipped %d non-positive value(s)", what, skipped)
+	}
+	return g, nil
 }
 
 // E1Characterization reproduces the workload-characterization table:
@@ -99,26 +152,30 @@ func E2Configuration() (Result, error) {
 // static-parallel design across the suite, with geomeans.
 func E3Speedup() (Result, error) {
 	cfg := config.Default8()
+	suite := workload.Suite()
+	static, delta, err := suitePairs(suite, cfg)
+	if err != nil {
+		return Result{}, err
+	}
 	tb := stats.NewTable("E3: Delta speedup over static-parallel (8 lanes)",
 		"workload", "static cyc", "delta cyc", "speedup")
 	var all, irr []float64
-	for _, nb := range workload.Suite() {
-		s, err := run(nb, baseline.Static, cfg)
-		if err != nil {
-			return Result{}, err
-		}
-		d, err := run(nb, baseline.Delta, cfg)
-		if err != nil {
-			return Result{}, err
-		}
-		sp := stats.Speedup(s.Cycles, d.Cycles)
+	for i, nb := range suite {
+		sp := stats.Speedup(static[i].Cycles, delta[i].Cycles)
 		all = append(all, sp)
 		if IrregularNames[nb.Name] {
 			irr = append(irr, sp)
 		}
-		tb.AddRow(nb.Name, stats.I(s.Cycles), stats.I(d.Cycles), stats.Fx(sp))
+		tb.AddRow(nb.Name, stats.I(static[i].Cycles), stats.I(delta[i].Cycles), stats.Fx(sp))
 	}
-	gAll, gIrr := stats.Geomean(all), stats.Geomean(irr)
+	gAll, err := geomean("E3 speedup", all)
+	if err != nil {
+		return Result{}, err
+	}
+	gIrr, err := geomean("E3 irregular speedup", irr)
+	if err != nil {
+		return Result{}, err
+	}
 	tb.AddRow("geomean", "", "", stats.Fx(gAll))
 	tb.AddRow("geomean (irregular)", "", "", stats.Fx(gIrr))
 	return Result{ID: "E3", Title: "Headline speedup",
@@ -133,21 +190,27 @@ func E3Speedup() (Result, error) {
 // delta, reporting speedup over static per workload.
 func E4Ablation() (Result, error) {
 	cfg := config.Default8()
+	suite := workload.Suite()
+	const nv = int(baseline.NumVariants)
+	jobs := make([]func() (core.Report, error), 0, nv*len(suite))
+	for _, nb := range suite {
+		for v := baseline.Static; v < baseline.NumVariants; v++ {
+			jobs = append(jobs, job(nb, v, cfg))
+		}
+	}
+	reps, err := runJobs(jobs)
+	if err != nil {
+		return Result{}, err
+	}
 	tb := stats.NewTable("E4: mechanism ablation (speedup over static)",
 		"workload", "dyn-rr", "+lb", "+lb+mc", "delta")
 	metrics := map[string]float64{}
 	var deltaSpeedups []float64
-	for _, nb := range workload.Suite() {
-		base, err := run(nb, baseline.Static, cfg)
-		if err != nil {
-			return Result{}, err
-		}
+	for i, nb := range suite {
+		base := reps[i*nv+int(baseline.Static)]
 		row := []string{nb.Name}
 		for v := baseline.DynamicRR; v < baseline.NumVariants; v++ {
-			r, err := run(nb, v, cfg)
-			if err != nil {
-				return Result{}, err
-			}
+			r := reps[i*nv+int(v)]
 			sp := stats.Speedup(base.Cycles, r.Cycles)
 			row = append(row, stats.Fx(sp))
 			if v == baseline.Delta {
@@ -159,7 +222,11 @@ func E4Ablation() (Result, error) {
 			return Result{}, err
 		}
 	}
-	metrics["geomean_delta"] = stats.Geomean(deltaSpeedups)
+	g, err := geomean("E4 delta speedup", deltaSpeedups)
+	if err != nil {
+		return Result{}, err
+	}
+	metrics["geomean_delta"] = g
 	return Result{ID: "E4", Title: "Mechanism ablation",
 		Tables: []*stats.Table{tb}, Metrics: metrics}, nil
 }
@@ -168,19 +235,16 @@ func E4Ablation() (Result, error) {
 // cycles per lane, static vs delta.
 func E5Imbalance() (Result, error) {
 	cfg := config.Default8()
+	suite := workload.Suite()
+	static, delta, err := suitePairs(suite, cfg)
+	if err != nil {
+		return Result{}, err
+	}
 	tb := stats.NewTable("E5: load imbalance (max/mean lane busy cycles)",
 		"workload", "static", "delta")
 	metrics := map[string]float64{}
-	for _, nb := range workload.Suite() {
-		s, err := run(nb, baseline.Static, cfg)
-		if err != nil {
-			return Result{}, err
-		}
-		d, err := run(nb, baseline.Delta, cfg)
-		if err != nil {
-			return Result{}, err
-		}
-		si, di := stats.Imbalance(s.LaneBusy), stats.Imbalance(d.LaneBusy)
+	for i, nb := range suite {
+		si, di := stats.Imbalance(static[i].LaneBusy), stats.Imbalance(delta[i].LaneBusy)
 		tb.AddRow(nb.Name, stats.F(si), stats.F(di))
 		metrics["static_"+nb.Name] = si
 		metrics["delta_"+nb.Name] = di
@@ -204,21 +268,27 @@ func scalingSubset() []workload.NamedBuilder {
 
 // E6Scaling sweeps lane count.
 func E6Scaling() (Result, error) {
+	subset := scalingSubset()
+	jobs := make([]func() (core.Report, error), 0, 2*len(subset)*len(ScalingLanes))
+	for _, nb := range subset {
+		for _, lanes := range ScalingLanes {
+			cfg := config.Default8().WithLanes(lanes)
+			jobs = append(jobs, job(nb, baseline.Static, cfg), job(nb, baseline.Delta, cfg))
+		}
+	}
+	reps, err := runJobs(jobs)
+	if err != nil {
+		return Result{}, err
+	}
 	var tables []*stats.Table
 	metrics := map[string]float64{}
-	for _, nb := range scalingSubset() {
+	i := 0
+	for _, nb := range subset {
 		tb := stats.NewTable(fmt.Sprintf("E6: lane scaling — %s", nb.Name),
 			"lanes", "static cyc", "delta cyc", "speedup")
 		for _, lanes := range ScalingLanes {
-			cfg := config.Default8().WithLanes(lanes)
-			s, err := run(nb, baseline.Static, cfg)
-			if err != nil {
-				return Result{}, err
-			}
-			d, err := run(nb, baseline.Delta, cfg)
-			if err != nil {
-				return Result{}, err
-			}
+			s, d := reps[i], reps[i+1]
+			i += 2
 			sp := stats.Speedup(s.Cycles, d.Cycles)
 			tb.AddRow(stats.I(int64(lanes)), stats.I(s.Cycles), stats.I(d.Cycles), stats.Fx(sp))
 			metrics[fmt.Sprintf("%s_lanes%d", nb.Name, lanes)] = sp
@@ -231,22 +301,24 @@ func E6Scaling() (Result, error) {
 // E7Granularity sweeps spmv task granularity (rows per task).
 func E7Granularity() (Result, error) {
 	cfg := config.Default8()
+	grains := []int{8, 16, 32, 64, 128, 256}
+	jobs := make([]func() (core.Report, error), 0, 2*len(grains))
+	for _, grain := range grains {
+		p := workload.DefaultSpMV()
+		p.RowsPerTask = grain
+		nb := workload.NamedBuilder{Name: fmt.Sprintf("spmv-g%d", grain),
+			Build: func() *workload.Workload { return workload.SpMV(p) }}
+		jobs = append(jobs, job(nb, baseline.Static, cfg), job(nb, baseline.Delta, cfg))
+	}
+	reps, err := runJobs(jobs)
+	if err != nil {
+		return Result{}, err
+	}
 	tb := stats.NewTable("E7: task granularity — spmv rows/task",
 		"rows/task", "tasks", "static cyc", "delta cyc", "speedup")
 	metrics := map[string]float64{}
-	for _, grain := range []int{8, 16, 32, 64, 128, 256} {
-		p := workload.DefaultSpMV()
-		p.RowsPerTask = grain
-		mk := func() *workload.Workload { return workload.SpMV(p) }
-		nb := workload.NamedBuilder{Name: fmt.Sprintf("spmv-g%d", grain), Build: mk}
-		s, err := run(nb, baseline.Static, cfg)
-		if err != nil {
-			return Result{}, err
-		}
-		d, err := run(nb, baseline.Delta, cfg)
-		if err != nil {
-			return Result{}, err
-		}
+	for i, grain := range grains {
+		s, d := reps[2*i], reps[2*i+1]
 		sp := stats.Speedup(s.Cycles, d.Cycles)
 		tb.AddRow(stats.I(int64(grain)), stats.I(s.Stats.Get("tasks_run")),
 			stats.I(s.Cycles), stats.I(d.Cycles), stats.Fx(sp))
@@ -257,22 +329,29 @@ func E7Granularity() (Result, error) {
 
 // E8Bandwidth sweeps memory bandwidth (channel count).
 func E8Bandwidth() (Result, error) {
-	var tables []*stats.Table
-	metrics := map[string]float64{}
-	for _, nb := range scalingSubset() {
-		tb := stats.NewTable(fmt.Sprintf("E8: DRAM bandwidth — %s", nb.Name),
-			"channels", "static cyc", "delta cyc", "speedup")
-		for _, ch := range []int{1, 2, 4, 8} {
+	subset := scalingSubset()
+	channels := []int{1, 2, 4, 8}
+	jobs := make([]func() (core.Report, error), 0, 2*len(subset)*len(channels))
+	for _, nb := range subset {
+		for _, ch := range channels {
 			cfg := config.Default8()
 			cfg.DRAM.Channels = ch
-			s, err := run(nb, baseline.Static, cfg)
-			if err != nil {
-				return Result{}, err
-			}
-			d, err := run(nb, baseline.Delta, cfg)
-			if err != nil {
-				return Result{}, err
-			}
+			jobs = append(jobs, job(nb, baseline.Static, cfg), job(nb, baseline.Delta, cfg))
+		}
+	}
+	reps, err := runJobs(jobs)
+	if err != nil {
+		return Result{}, err
+	}
+	var tables []*stats.Table
+	metrics := map[string]float64{}
+	i := 0
+	for _, nb := range subset {
+		tb := stats.NewTable(fmt.Sprintf("E8: DRAM bandwidth — %s", nb.Name),
+			"channels", "static cyc", "delta cyc", "speedup")
+		for _, ch := range channels {
+			s, d := reps[i], reps[i+1]
+			i += 2
 			sp := stats.Speedup(s.Cycles, d.Cycles)
 			tb.AddRow(stats.I(int64(ch)), stats.I(s.Cycles), stats.I(d.Cycles), stats.Fx(sp))
 			metrics[fmt.Sprintf("%s_ch%d", nb.Name, ch)] = sp
@@ -286,18 +365,16 @@ func E8Bandwidth() (Result, error) {
 // NoC flit-cycles, delta normalized to static.
 func E9Traffic() (Result, error) {
 	cfg := config.Default8()
+	suite := workload.Suite()
+	static, delta, err := suitePairs(suite, cfg)
+	if err != nil {
+		return Result{}, err
+	}
 	tb := stats.NewTable("E9: traffic, delta normalized to static",
 		"workload", "DRAM bytes", "NoC flit-cycles", "fwd elems", "mcast lines saved")
 	metrics := map[string]float64{}
-	for _, nb := range workload.Suite() {
-		s, err := run(nb, baseline.Static, cfg)
-		if err != nil {
-			return Result{}, err
-		}
-		d, err := run(nb, baseline.Delta, cfg)
-		if err != nil {
-			return Result{}, err
-		}
+	for i, nb := range suite {
+		s, d := static[i], delta[i]
 		dr := ratio(d.Stats.Get("dram_bytes"), s.Stats.Get("dram_bytes"))
 		nr := ratio(d.Stats.Get("noc_flit_cycles"), s.Stats.Get("noc_flit_cycles"))
 		tb.AddRow(nb.Name, stats.Pct(dr), stats.Pct(nr),
@@ -325,30 +402,44 @@ func E10Area() (Result, error) {
 	}
 	base, added, total := m.Totals()
 	tb.AddRow("baseline total", "", fmt.Sprintf("%.4f", base), "")
-	tb.AddRow("taskstream total", "", fmt.Sprintf("%.4f", added), "")
+	tb.AddRow("taskstream added", "", fmt.Sprintf("%.4f", added), "")
+	tb.AddRow("machine total", "", fmt.Sprintf("%.4f", total), "")
 	tb.AddRow("overhead", "", stats.Pct(m.OverheadFraction()), "")
-	_ = total
 	return Result{ID: "E10", Title: "Area overhead",
-		Tables:  []*stats.Table{tb},
-		Metrics: map[string]float64{"overhead_fraction": m.OverheadFraction()}}, nil
+		Tables: []*stats.Table{tb},
+		Metrics: map[string]float64{
+			"overhead_fraction": m.OverheadFraction(),
+			"total_area_mm2":    total,
+		}}, nil
 }
 
 // E11Window sweeps the multicast coalescing window on the two
 // sharing-heavy workloads.
 func E11Window() (Result, error) {
-	var tables []*stats.Table
-	metrics := map[string]float64{}
-	for _, name := range []string{"gemm", "kmeans"} {
+	names := []string{"gemm", "kmeans"}
+	windows := []int{0, 8, 32, 128, 512}
+	jobs := make([]func() (core.Report, error), 0, len(names)*len(windows))
+	for _, name := range names {
 		nb := *workload.ByName(name)
-		tb := stats.NewTable(fmt.Sprintf("E11: coalescing window — %s", name),
-			"window", "cycles", "mcast joins", "lines saved")
-		for _, win := range []int{0, 8, 32, 128, 512} {
+		for _, win := range windows {
 			cfg := config.Default8()
 			cfg.Task.CoalesceWindowCycles = win
-			r, err := run(nb, baseline.Delta, cfg)
-			if err != nil {
-				return Result{}, err
-			}
+			jobs = append(jobs, job(nb, baseline.Delta, cfg))
+		}
+	}
+	reps, err := runJobs(jobs)
+	if err != nil {
+		return Result{}, err
+	}
+	var tables []*stats.Table
+	metrics := map[string]float64{}
+	i := 0
+	for _, name := range names {
+		tb := stats.NewTable(fmt.Sprintf("E11: coalescing window — %s", name),
+			"window", "cycles", "mcast joins", "lines saved")
+		for _, win := range windows {
+			r := reps[i]
+			i++
 			tb.AddRow(stats.I(int64(win)), stats.I(r.Cycles),
 				stats.I(r.Stats.Get("mcast_joins")), stats.I(r.Stats.Get("mcast_lines_saved")))
 			metrics[fmt.Sprintf("%s_win%d", name, win)] = float64(r.Cycles)
@@ -362,23 +453,40 @@ func E11Window() (Result, error) {
 // skew-dominated workloads.
 func E12Hints() (Result, error) {
 	cfg, opts := baseline.Delta.Configure(config.Default8())
+	names := []string{"spmv", "tri", "join"}
+	hints := []core.HintMode{core.HintExact, core.HintNoisy, core.HintNone}
+	jobs := make([]func() (core.Report, error), 0, len(names)*len(hints))
+	for _, name := range names {
+		nb := workload.ByName(name)
+		for _, h := range hints {
+			o := opts
+			o.Hints = h
+			jobs = append(jobs, func() (core.Report, error) {
+				w := nb.Build()
+				rep, err := baseline.RunCfg(cfg, o, w.Prog, w.Storage)
+				if err != nil {
+					return core.Report{}, err
+				}
+				if err := w.Verify(); err != nil {
+					return core.Report{}, err
+				}
+				return rep, nil
+			})
+		}
+	}
+	reps, err := runJobs(jobs)
+	if err != nil {
+		return Result{}, err
+	}
 	tb := stats.NewTable("E12: work-hint fidelity (delta cycles)",
 		"workload", "exact", "noisy", "none")
 	metrics := map[string]float64{}
-	for _, name := range []string{"spmv", "tri", "join"} {
-		nb := workload.ByName(name)
+	i := 0
+	for _, name := range names {
 		row := []string{name}
-		for _, h := range []core.HintMode{core.HintExact, core.HintNoisy, core.HintNone} {
-			w := nb.Build()
-			o := opts
-			o.Hints = h
-			rep, err := baseline.RunCfg(cfg, o, w.Prog, w.Storage)
-			if err != nil {
-				return Result{}, err
-			}
-			if err := w.Verify(); err != nil {
-				return Result{}, err
-			}
+		for _, h := range hints {
+			rep := reps[i]
+			i++
 			row = append(row, stats.I(rep.Cycles))
 			metrics[fmt.Sprintf("%s_h%d", name, h)] = float64(rep.Cycles)
 		}
@@ -389,22 +497,50 @@ func E12Hints() (Result, error) {
 	return Result{ID: "E12", Title: "Hint fidelity", Tables: []*stats.Table{tb}, Metrics: metrics}, nil
 }
 
-// All runs every experiment in order.
+// Named pairs an experiment id with its function.
+type Named struct {
+	ID string
+	Fn func() (Result, error)
+}
+
+// Registry returns every experiment in E-number order — the list
+// delta-bench and All share.
+func Registry() []Named {
+	return []Named{
+		{"E1", E1Characterization},
+		{"E2", E2Configuration},
+		{"E3", E3Speedup},
+		{"E4", E4Ablation},
+		{"E5", E5Imbalance},
+		{"E6", E6Scaling},
+		{"E7", E7Granularity},
+		{"E8", E8Bandwidth},
+		{"E9", E9Traffic},
+		{"E10", E10Area},
+		{"E11", E11Window},
+		{"E12", E12Hints},
+		{"E13", E13QueueDepth},
+		{"E14", E14Energy},
+	}
+}
+
+// All runs every experiment, returning results in E-number order. With
+// a worker budget above 1 the experiments themselves run concurrently
+// (their simulations still share the one budget); at 1 they run
+// strictly serially.
 func All() ([]Result, error) {
-	fns := []func() (Result, error){
-		E1Characterization, E2Configuration, E3Speedup, E4Ablation,
-		E5Imbalance, E6Scaling, E7Granularity, E8Bandwidth,
-		E9Traffic, E10Area, E11Window, E12Hints, E13QueueDepth, E14Energy,
+	regs := Registry()
+	expWorkers := 1
+	if Workers() > 1 {
+		expWorkers = len(regs)
 	}
-	var out []Result
-	for _, fn := range fns {
-		r, err := fn()
+	return parallel.Map(expWorkers, regs, func(_ int, e Named) (Result, error) {
+		r, err := e.Fn()
 		if err != nil {
-			return nil, err
+			return Result{}, fmt.Errorf("%s: %w", e.ID, err)
 		}
-		out = append(out, r)
-	}
-	return out, nil
+		return r, nil
+	})
 }
 
 // ratio returns a/b guarding zero, rounding tiny negatives away.

@@ -6,6 +6,7 @@ import (
 	"taskstream/internal/areamodel"
 	"taskstream/internal/baseline"
 	"taskstream/internal/config"
+	"taskstream/internal/core"
 	"taskstream/internal/stats"
 	"taskstream/internal/workload"
 )
@@ -16,22 +17,36 @@ import (
 // decisions early (hurting work-aware balance); depth 1 exposes task
 // startup latency; prefetch hides it.
 func E13QueueDepth() (Result, error) {
-	var tables []*stats.Table
-	metrics := map[string]float64{}
-	for _, name := range []string{"spmv", "bfs"} {
+	names := []string{"spmv", "bfs"}
+	depths := []int{1, 2, 4, 8, 16}
+	prefetch := []bool{false, true} // disable-prefetch flag values
+	jobs := make([]func() (core.Report, error), 0, len(names)*len(depths)*len(prefetch))
+	for _, name := range names {
 		nb := *workload.ByName(name)
-		tb := stats.NewTable(fmt.Sprintf("E13: task queue depth & prefetch — %s (delta cycles)", name),
-			"queue depth", "prefetch", "no prefetch")
-		for _, depth := range []int{1, 2, 4, 8, 16} {
-			row := []string{stats.I(int64(depth))}
-			for _, noPf := range []bool{false, true} {
+		for _, depth := range depths {
+			for _, noPf := range prefetch {
 				cfg := config.Default8()
 				cfg.Task.QueueDepth = depth
 				cfg.Task.DisablePrefetch = noPf
-				r, err := run(nb, baseline.Delta, cfg)
-				if err != nil {
-					return Result{}, err
-				}
+				jobs = append(jobs, job(nb, baseline.Delta, cfg))
+			}
+		}
+	}
+	reps, err := runJobs(jobs)
+	if err != nil {
+		return Result{}, err
+	}
+	var tables []*stats.Table
+	metrics := map[string]float64{}
+	i := 0
+	for _, name := range names {
+		tb := stats.NewTable(fmt.Sprintf("E13: task queue depth & prefetch — %s (delta cycles)", name),
+			"queue depth", "prefetch", "no prefetch")
+		for _, depth := range depths {
+			row := []string{stats.I(int64(depth))}
+			for _, noPf := range prefetch {
+				r := reps[i]
+				i++
 				row = append(row, stats.I(r.Cycles))
 				metrics[fmt.Sprintf("%s_d%d_pf%v", name, depth, !noPf)] = float64(r.Cycles)
 			}
@@ -51,21 +66,18 @@ func E13QueueDepth() (Result, error) {
 // on-chip structures).
 func E14Energy() (Result, error) {
 	cfg := config.Default8()
+	suite := workload.Suite()
+	static, delta, err := suitePairs(suite, cfg)
+	if err != nil {
+		return Result{}, err
+	}
 	tb := stats.NewTable("E14: energy (µJ, modeled)",
 		"workload", "static", "delta", "ratio", "delta DRAM share")
 	metrics := map[string]float64{}
 	var ratios []float64
-	for _, nb := range workload.Suite() {
-		s, err := run(nb, baseline.Static, cfg)
-		if err != nil {
-			return Result{}, err
-		}
-		d, err := run(nb, baseline.Delta, cfg)
-		if err != nil {
-			return Result{}, err
-		}
-		es := areamodel.EnergyOf(s.Stats)
-		ed := areamodel.EnergyOf(d.Stats)
+	for i, nb := range suite {
+		es := areamodel.EnergyOf(static[i].Stats)
+		ed := areamodel.EnergyOf(delta[i].Stats)
 		ratio := ed.Total() / es.Total()
 		ratios = append(ratios, ratio)
 		tb.AddRow(nb.Name,
@@ -73,7 +85,11 @@ func E14Energy() (Result, error) {
 			stats.Pct(ratio), stats.Pct(ed.DRAM/ed.Total()))
 		metrics["ratio_"+nb.Name] = ratio
 	}
-	metrics["geomean_ratio"] = stats.Geomean(ratios)
+	g, err := geomean("E14 energy ratio", ratios)
+	if err != nil {
+		return Result{}, err
+	}
+	metrics["geomean_ratio"] = g
 	return Result{ID: "E14", Title: "Energy",
 		Tables: []*stats.Table{tb}, Metrics: metrics}, nil
 }

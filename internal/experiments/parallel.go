@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"sync"
+
+	"taskstream/internal/core"
+	"taskstream/internal/parallel"
+)
+
+// The harness shares one simulation worker budget across every
+// experiment in flight, so `delta-bench -j N` never has more than N
+// simulations running no matter how experiments overlap. Jobs are
+// fanned out but their results are always assembled in program order,
+// which keeps every rendered table byte-identical at any worker count
+// (pinned by TestSerialParallelEquality).
+var (
+	workersMu sync.RWMutex
+	simLim    = parallel.NewLimiter(1)
+)
+
+// SetWorkers caps concurrent simulations harness-wide; n <= 0 means
+// one worker per CPU, and 1 (the default) preserves strictly serial
+// execution. Not safe to call while experiments are running.
+func SetWorkers(n int) {
+	workersMu.Lock()
+	defer workersMu.Unlock()
+	simLim = parallel.NewLimiter(n)
+}
+
+// Workers reports the current simulation concurrency bound.
+func Workers() int {
+	workersMu.RLock()
+	defer workersMu.RUnlock()
+	return simLim.Cap()
+}
+
+func limiter() *parallel.Limiter {
+	workersMu.RLock()
+	defer workersMu.RUnlock()
+	return simLim
+}
+
+// runJobs executes independent simulation jobs under the shared worker
+// budget, returning results in job order.
+func runJobs(jobs []func() (core.Report, error)) ([]core.Report, error) {
+	return parallel.MapLimited(limiter(), jobs,
+		func(_ int, job func() (core.Report, error)) (core.Report, error) { return job() })
+}

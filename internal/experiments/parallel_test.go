@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+
+	"taskstream/internal/parallel"
+)
+
+// renderDeterministic renders every result the way delta-bench prints
+// it, plus its metrics under sorted keys — a byte-level fingerprint of
+// everything an experiment produces.
+func renderDeterministic(results []Result) string {
+	var b strings.Builder
+	for _, r := range results {
+		fmt.Fprintf(&b, "### %s — %s\n", r.ID, r.Title)
+		b.WriteString(r.Render())
+		keys := make([]string, 0, len(r.Metrics))
+		for k := range r.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%s=%v\n", k, r.Metrics[k])
+		}
+	}
+	return b.String()
+}
+
+// runSuite runs the given experiments at the given worker count and
+// returns the fingerprint.
+func runSuite(t *testing.T, workers int, regs []Named) string {
+	t.Helper()
+	SetWorkers(workers)
+	expWorkers := 1
+	if workers > 1 {
+		expWorkers = len(regs)
+	}
+	results, err := parallel.Map(expWorkers, regs, func(_ int, e Named) (Result, error) { return e.Fn() })
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	return renderDeterministic(results)
+}
+
+// subset filters the registry by experiment id.
+func subset(regs []Named, ids ...string) []Named {
+	want := map[string]bool{}
+	for _, id := range ids {
+		want[id] = true
+	}
+	var out []Named
+	for _, e := range regs {
+		if want[e.ID] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// checkEquality runs the experiments serially and at 4 workers and
+// fails unless the fingerprints match byte for byte.
+func checkEquality(t *testing.T, regs []Named) {
+	t.Helper()
+	old := Workers()
+	defer SetWorkers(old)
+	serial := runSuite(t, 1, regs)
+	par := runSuite(t, 4, regs)
+	if serial != par {
+		t.Fatalf("parallel output differs from serial output:\n--- serial ---\n%s\n--- parallel (-j 4) ---\n%s", serial, par)
+	}
+	if serial == "" {
+		t.Fatal("empty render — experiments produced no output")
+	}
+}
+
+// TestSerialParallelEquality is the harness's determinism contract:
+// regenerating the evaluation with `-j N` must produce byte-identical
+// tables and metrics to a strictly serial `-j 1` run. The default run
+// covers a representative subset (multi-table sweeps, cross-variant
+// comparisons, custom-option runs) to stay inside ordinary test
+// budgets — -short shrinks it further for -race; the full E-suite is
+// TestSerialParallelEqualityFullSuite.
+func TestSerialParallelEquality(t *testing.T) {
+	ids := []string{"E1", "E2", "E7", "E10", "E11", "E12"}
+	if testing.Short() {
+		ids = []string{"E1", "E2", "E10", "E12"}
+	}
+	checkEquality(t, subset(Registry(), ids...))
+}
+
+// TestSerialParallelEqualityFullSuite regenerates the entire E-suite
+// twice (serial, then 4-way parallel with cross-experiment fan-out)
+// and demands byte identity. It takes several minutes, so it only runs
+// when TASKSTREAM_FULL_EQUALITY=1 — CI's race job does; pass
+// `-timeout 60m` alongside.
+func TestSerialParallelEqualityFullSuite(t *testing.T) {
+	if os.Getenv("TASKSTREAM_FULL_EQUALITY") == "" {
+		t.Skip("set TASKSTREAM_FULL_EQUALITY=1 to run the full-suite equality check")
+	}
+	checkEquality(t, Registry())
+}
+
+// TestSetWorkers pins the budget plumbing.
+func TestSetWorkers(t *testing.T) {
+	old := Workers()
+	defer SetWorkers(old)
+	if Workers() != 1 && old != 1 {
+		// Default budget is serial until someone opts in.
+		t.Logf("note: worker budget was %d at test start", old)
+	}
+	SetWorkers(3)
+	if got := Workers(); got != 3 {
+		t.Fatalf("Workers() = %d after SetWorkers(3)", got)
+	}
+	SetWorkers(0)
+	if got := Workers(); got != parallel.DefaultWorkers() {
+		t.Fatalf("Workers() = %d after SetWorkers(0), want DefaultWorkers %d", got, parallel.DefaultWorkers())
+	}
+	SetWorkers(1)
+	if got := Workers(); got != 1 {
+		t.Fatalf("Workers() = %d after SetWorkers(1)", got)
+	}
+}

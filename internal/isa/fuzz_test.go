@@ -1,9 +1,11 @@
 package isa_test
 
 import (
+	"math"
 	"reflect"
 	"testing"
 
+	"taskstream/internal/core"
 	"taskstream/internal/isa"
 	"taskstream/internal/workload"
 )
@@ -29,6 +31,20 @@ func seedTasks(f *testing.F) [][]byte {
 	add(workload.SpMV(workload.SpMVParams{Rows: 64, Cols: 64, Alpha: 1.5,
 		MinRow: 1, MaxRow: 16, RowsPerTask: 8, Clustered: true, Seed: 1}), 8)
 	add(workload.MergeSort(workload.SortParams{N: 256, Leaves: 4, Seed: 5}), 8)
+	// Boundary descriptor: shape fields at the 32-bit wire-slot extremes
+	// (MaxInt32 shapes, −1 kernel-determined output length) — the edge
+	// the encode-truncation guard protects.
+	boundary := &core.Task{
+		Key: 0xB0DA, WorkHint: 1,
+		Ins: []core.InArg{{Kind: core.ArgDRAMAffine, Base: 0x100,
+			N: math.MaxInt32, Rows: math.MaxInt32, RowLen: math.MaxInt32, Pitch: math.MaxInt32}},
+		Outs: []core.OutArg{{Kind: core.OutForward, Base: 0x200, Tag: 7, N: -1}},
+	}
+	buf, err := isa.EncodeTask(boundary)
+	if err != nil {
+		f.Fatalf("encoding boundary seed: %v", err)
+	}
+	seeds = append(seeds, buf)
 	return seeds
 }
 

@@ -9,6 +9,7 @@ package isa
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 
 	"taskstream/internal/core"
 	"taskstream/internal/mem"
@@ -24,6 +25,18 @@ const (
 	maxPorts   = 255
 )
 
+// check32 rejects a count/shape field that would not survive its
+// 4-byte wire slot. Descriptor fields are interpreted as signed 32-bit
+// ints on decode (−1 marks kernel-determined output lengths), so any
+// int outside [MinInt32, MaxInt32] would silently truncate and corrupt
+// the roundtrip instead of erroring.
+func check32(port string, pi int, field string, v int) error {
+	if v < math.MinInt32 || v > math.MaxInt32 {
+		return fmt.Errorf("isa: %s port %d: %s=%d overflows the 32-bit descriptor field", port, pi, field, v)
+	}
+	return nil
+}
+
 // EncodeTask serializes a task descriptor.
 func EncodeTask(t *core.Task) ([]byte, error) {
 	if len(t.Scalars) > maxScalars || len(t.Ins) > maxPorts || len(t.Outs) > maxPorts {
@@ -31,6 +44,21 @@ func EncodeTask(t *core.Task) ([]byte, error) {
 	}
 	if t.Type < 0 || t.Type > 0xFFFF || t.Phase < 0 || t.Phase > 0xFFFF {
 		return nil, fmt.Errorf("isa: type/phase out of u16 range")
+	}
+	for pi, in := range t.Ins {
+		for _, f := range []struct {
+			name string
+			v    int
+		}{{"N", in.N}, {"Rows", in.Rows}, {"RowLen", in.RowLen}, {"Pitch", in.Pitch}} {
+			if err := check32("in", pi, f.name, f.v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for pi, o := range t.Outs {
+		if err := check32("out", pi, "N", o.N); err != nil {
+			return nil, err
+		}
 	}
 	buf := make([]byte, 0, 64+len(t.Scalars)*8+len(t.Ins)*48+len(t.Outs)*24)
 	p := func(v uint64, n int) {

@@ -1,6 +1,8 @@
 package isa
 
 import (
+	"math"
+	"strconv"
 	"testing"
 	"testing/quick"
 
@@ -89,6 +91,57 @@ func TestEncodeRejectsOutOfRange(t *testing.T) {
 	big := &core.Task{Scalars: make([]uint64, 300)}
 	if _, err := EncodeTask(big); err == nil {
 		t.Fatal("too many scalars must fail")
+	}
+}
+
+// TestEncodeRejects32BitOverflow pins the truncation fix: descriptor
+// count/shape fields ride in 4-byte wire slots, so an int beyond int32
+// range must be an encode error, not a silent roundtrip corruption.
+func TestEncodeRejects32BitOverflow(t *testing.T) {
+	if strconv.IntSize < 64 {
+		t.Skip("int cannot exceed 32 bits on this platform")
+	}
+	big := int(math.MaxInt32) + 1
+	cases := []struct {
+		name string
+		task *core.Task
+	}{
+		{"in.N", &core.Task{Ins: []core.InArg{{Kind: core.ArgDRAMLinear, Base: 0x100, N: big}}}},
+		{"in.Rows", &core.Task{Ins: []core.InArg{{Kind: core.ArgDRAMAffine, Base: 0x100, Rows: big, RowLen: 1, N: 1}}}},
+		{"in.RowLen", &core.Task{Ins: []core.InArg{{Kind: core.ArgDRAMAffine, Base: 0x100, Rows: 1, RowLen: big, N: 1}}}},
+		{"in.Pitch", &core.Task{Ins: []core.InArg{{Kind: core.ArgDRAMAffine, Base: 0x100, Rows: 1, RowLen: 1, N: 1, Pitch: big}}}},
+		{"out.N", &core.Task{Outs: []core.OutArg{{Kind: core.OutDRAMLinear, Base: 0x100, N: big}}}},
+		{"negative in.N", &core.Task{Ins: []core.InArg{{Kind: core.ArgDRAMLinear, Base: 0x100, N: math.MinInt32 - 1}}}},
+	}
+	for _, c := range cases {
+		if _, err := EncodeTask(c.task); err == nil {
+			t.Errorf("%s overflow must fail to encode", c.name)
+		}
+	}
+}
+
+// TestRoundTripBoundaryFields covers the extremes that DO fit the wire
+// slots: MaxInt32 shapes and the −1 kernel-determined output length.
+func TestRoundTripBoundaryFields(t *testing.T) {
+	task := &core.Task{
+		Ins: []core.InArg{{Kind: core.ArgDRAMAffine, Base: 0x100,
+			N: math.MaxInt32, Rows: math.MaxInt32, RowLen: math.MaxInt32, Pitch: math.MaxInt32}},
+		Outs: []core.OutArg{{Kind: core.OutForward, Base: 0x200, Tag: 9, N: -1}},
+	}
+	buf, err := EncodeTask(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeTask(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := got.Ins[0]
+	if in.N != math.MaxInt32 || in.Rows != math.MaxInt32 || in.RowLen != math.MaxInt32 || in.Pitch != math.MaxInt32 {
+		t.Fatalf("boundary in fields corrupted: %+v", in)
+	}
+	if got.Outs[0].N != -1 {
+		t.Fatalf("kernel-determined out length: got %d, want -1", got.Outs[0].N)
 	}
 }
 

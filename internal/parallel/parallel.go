@@ -1,0 +1,105 @@
+// Package parallel provides the bounded worker-pool primitives the
+// experiment harness uses to fan out independent simulations. Results
+// are always collected in input order, so callers that render tables
+// from them produce byte-identical output at any worker count — the
+// property the harness's serial-vs-parallel equality test pins down.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultWorkers is the worker count used when a caller passes n <= 0:
+// one worker per available CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Limiter bounds the number of concurrently executing work units
+// across any number of goroutines or Map calls sharing it, so several
+// independent fan-outs together never exceed one global budget. The
+// zero value is not usable; call NewLimiter.
+type Limiter struct {
+	sem chan struct{}
+}
+
+// NewLimiter returns a limiter admitting up to n concurrent units
+// (n <= 0 means DefaultWorkers).
+func NewLimiter(n int) *Limiter {
+	if n <= 0 {
+		n = DefaultWorkers()
+	}
+	return &Limiter{sem: make(chan struct{}, n)}
+}
+
+// Cap returns the limiter's concurrency bound.
+func (l *Limiter) Cap() int { return cap(l.sem) }
+
+// Do runs f while holding one of the limiter's slots, blocking until a
+// slot is free. Never call Do from inside another Do on the same
+// limiter: a full limiter would deadlock against itself.
+func (l *Limiter) Do(f func()) {
+	l.sem <- struct{}{}
+	defer func() { <-l.sem }()
+	f()
+}
+
+// Map runs fn(i, items[i]) for every item with at most workers
+// concurrent invocations (workers <= 0 means DefaultWorkers) and
+// returns the results in input order.
+//
+// workers == 1 runs everything inline in order, stopping at the first
+// error — exactly the serial behavior. With more workers every item
+// still runs, and the error returned is the first one in input order,
+// so error identity is deterministic too.
+func Map[T, R any](workers int, items []T, fn func(int, T) (R, error)) ([]R, error) {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers == 1 || len(items) <= 1 {
+		return mapSerial(items, fn)
+	}
+	return mapLimited(NewLimiter(workers), items, fn)
+}
+
+// MapLimited is Map with the concurrency bound supplied by a shared
+// Limiter, for fan-outs that must respect a budget spanning several
+// concurrent Map calls. A limiter of capacity 1 runs inline like
+// Map(1, ...).
+func MapLimited[T, R any](l *Limiter, items []T, fn func(int, T) (R, error)) ([]R, error) {
+	if l.Cap() == 1 || len(items) <= 1 {
+		return mapSerial(items, fn)
+	}
+	return mapLimited(l, items, fn)
+}
+
+func mapSerial[T, R any](items []T, fn func(int, T) (R, error)) ([]R, error) {
+	out := make([]R, len(items))
+	for i, it := range items {
+		r, err := fn(i, it)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+func mapLimited[T, R any](l *Limiter, items []T, fn func(int, T) (R, error)) ([]R, error) {
+	out := make([]R, len(items))
+	errs := make([]error, len(items))
+	var wg sync.WaitGroup
+	for i := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l.Do(func() { out[i], errs[i] = fn(i, items[i]) })
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

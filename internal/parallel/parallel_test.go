@@ -1,0 +1,127 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapCollectsInInputOrder(t *testing.T) {
+	items := make([]int, 64)
+	for i := range items {
+		items[i] = i
+	}
+	got, err := Map(8, items, func(i, v int) (int, error) {
+		// Stagger completion so later items often finish first.
+		time.Sleep(time.Duration((len(items)-i)%7) * time.Millisecond)
+		return v * v, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("got[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int64
+	_, err := Map(workers, make([]struct{}, 50), func(int, struct{}) (struct{}, error) {
+		n := inFlight.Add(1)
+		defer inFlight.Add(-1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("peak concurrency %d exceeds %d workers", p, workers)
+	}
+}
+
+func TestMapReturnsFirstErrorInInputOrder(t *testing.T) {
+	e1, e5 := errors.New("item 1"), errors.New("item 5")
+	_, err := Map(4, []int{0, 1, 2, 3, 4, 5}, func(i, _ int) (int, error) {
+		switch i {
+		case 1:
+			time.Sleep(5 * time.Millisecond) // finish after item 5's error
+			return 0, e1
+		case 5:
+			return 0, e5
+		}
+		return 0, nil
+	})
+	if !errors.Is(err, e1) {
+		t.Fatalf("err = %v, want first-in-order error %v", err, e1)
+	}
+}
+
+func TestMapSerialStopsAtFirstError(t *testing.T) {
+	calls := 0
+	_, err := Map(1, []int{0, 1, 2, 3}, func(i, _ int) (int, error) {
+		calls++
+		if i == 1 {
+			return 0, fmt.Errorf("boom")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if calls != 2 {
+		t.Fatalf("serial Map made %d calls after error, want 2", calls)
+	}
+}
+
+func TestMapLimitedSharesBudgetAcrossMaps(t *testing.T) {
+	lim := NewLimiter(2)
+	var inFlight, peak atomic.Int64
+	job := func(int, struct{}) (struct{}, error) {
+		n := inFlight.Add(1)
+		defer inFlight.Add(-1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		return struct{}{}, nil
+	}
+	var wg sync.WaitGroup
+	for m := 0; m < 4; m++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := MapLimited(lim, make([]struct{}, 10), job); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > int64(lim.Cap()) {
+		t.Fatalf("peak concurrency %d exceeds shared limit %d", p, lim.Cap())
+	}
+}
+
+func TestNewLimiterDefaults(t *testing.T) {
+	if got := NewLimiter(0).Cap(); got != DefaultWorkers() {
+		t.Fatalf("NewLimiter(0).Cap() = %d, want %d", got, DefaultWorkers())
+	}
+	if got := NewLimiter(5).Cap(); got != 5 {
+		t.Fatalf("NewLimiter(5).Cap() = %d, want 5", got)
+	}
+}

@@ -183,21 +183,27 @@ func Imbalance(perWorker []int64) float64 {
 	return float64(max) / mean
 }
 
-// Geomean returns the geometric mean of positive values; values ≤ 0 are
-// skipped. Returns 0 when no positive values exist.
-func Geomean(vals []float64) float64 {
+// Geomean returns the geometric mean of the positive values together
+// with the number of values it had to skip because they were ≤ 0 (a
+// geometric mean is undefined there). Callers must check skipped — a
+// degenerate input would otherwise silently inflate the mean, which is
+// exactly how a collapsed per-workload speedup could hide in a
+// headline number. Returns (0, skipped) when no positive values exist.
+func Geomean(vals []float64) (g float64, skipped int) {
 	var logs float64
 	n := 0
 	for _, v := range vals {
 		if v > 0 {
 			logs += math.Log(v)
 			n++
+		} else {
+			skipped++
 		}
 	}
 	if n == 0 {
-		return 0
+		return 0, skipped
 	}
-	return math.Exp(logs / float64(n))
+	return math.Exp(logs / float64(n)), skipped
 }
 
 // Speedup returns base/new as a ratio, guarding against a zero

@@ -124,18 +124,29 @@ func TestImbalanceProperty(t *testing.T) {
 }
 
 func TestGeomean(t *testing.T) {
-	if got := Geomean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
-		t.Fatalf("geomean(2,8) = %v, want 4", got)
+	if got, skipped := Geomean([]float64{2, 8}); math.Abs(got-4) > 1e-12 || skipped != 0 {
+		t.Fatalf("geomean(2,8) = %v (skipped %d), want 4 (skipped 0)", got, skipped)
 	}
-	if got := Geomean([]float64{3, 3, 3}); math.Abs(got-3) > 1e-12 {
-		t.Fatalf("geomean(3,3,3) = %v, want 3", got)
+	if got, skipped := Geomean([]float64{3, 3, 3}); math.Abs(got-3) > 1e-12 || skipped != 0 {
+		t.Fatalf("geomean(3,3,3) = %v (skipped %d), want 3 (skipped 0)", got, skipped)
 	}
-	if got := Geomean(nil); got != 0 {
-		t.Fatalf("geomean(nil) = %v, want 0", got)
+	if got, skipped := Geomean(nil); got != 0 || skipped != 0 {
+		t.Fatalf("geomean(nil) = %v (skipped %d), want 0 (skipped 0)", got, skipped)
 	}
-	// Non-positive values are skipped rather than poisoning the result.
-	if got := Geomean([]float64{0, -1, 4}); math.Abs(got-4) > 1e-12 {
+}
+
+func TestGeomeanReportsSkipped(t *testing.T) {
+	// Non-positive values cannot silently inflate the mean: they are
+	// excluded from the product AND reported, so callers can fail loudly.
+	got, skipped := Geomean([]float64{0, -1, 4})
+	if math.Abs(got-4) > 1e-12 {
 		t.Fatalf("geomean with junk = %v, want 4", got)
+	}
+	if skipped != 2 {
+		t.Fatalf("skipped = %d, want 2", skipped)
+	}
+	if got, skipped := Geomean([]float64{0, -3}); got != 0 || skipped != 2 {
+		t.Fatalf("all-junk geomean = %v (skipped %d), want 0 (skipped 2)", got, skipped)
 	}
 }
 

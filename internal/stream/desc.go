@@ -109,13 +109,12 @@ type Span struct {
 // across time, a documented simplification).
 func BuildSpans(addrs []mem.Addr, lineBytes int) []Span {
 	var spans []Span
-	for i, a := range addrs {
+	for _, a := range addrs {
 		line := mem.LineOf(a, lineBytes)
 		if n := len(spans); n > 0 && spans[n-1].Line == line {
 			spans[n-1].Elems++
 			continue
 		}
-		_ = i
 		spans = append(spans, Span{Line: line, Elems: 1})
 	}
 	return spans
