@@ -11,6 +11,7 @@
 //	delta-bench            # everything, one simulation per CPU
 //	delta-bench -j 1       # strictly serial, today's single-core behavior
 //	delta-bench -only E3,E4
+//	delta-bench -only E6 -cpuprofile cpu.pprof   # profile the hot loop
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -29,12 +31,41 @@ import (
 func main() {
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. E3,E10)")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulations (1 = serial)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
 	if *jobs < 1 {
 		fmt.Fprintf(os.Stderr, "delta-bench: -j must be >= 1 (got %d)\n", *jobs)
 		os.Exit(1)
 	}
 	experiments.SetWorkers(*jobs)
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "delta-bench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "delta-bench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "delta-bench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // get up-to-date allocation statistics
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "delta-bench: -memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	sel, unknown := selectExperiments(*only)
 	if len(unknown) > 0 {

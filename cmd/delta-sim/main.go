@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"taskstream/internal/baseline"
 	"taskstream/internal/config"
@@ -18,47 +19,95 @@ import (
 	"taskstream/internal/workload"
 )
 
+// options holds the parsed flag values; validate rejects bad ones
+// before any simulation starts.
+type options struct {
+	workload string
+	variant  string
+	lanes    int
+	hints    string
+	vet      bool
+	verbose  bool
+}
+
+// validate checks every flag value up front, returning a usage-style
+// error naming the offending flag so main can exit 1 cleanly instead
+// of failing partway into a run.
+func (o options) validate() error {
+	if workload.ByName(o.workload) == nil {
+		return fmt.Errorf("unknown workload %q (-workload must be one of: %s)",
+			o.workload, strings.Join(suiteNames(), ", "))
+	}
+	if _, err := variantByName(o.variant); err != nil {
+		return err
+	}
+	if o.lanes < 1 {
+		return fmt.Errorf("-lanes must be >= 1 (got %d)", o.lanes)
+	}
+	if _, err := hintModeByName(o.hints); err != nil {
+		return err
+	}
+	return nil
+}
+
+// variantByName resolves a variant display name.
+func variantByName(name string) (baseline.Variant, error) {
+	var names []string
+	for v := baseline.Static; v < baseline.NumVariants; v++ {
+		if v.String() == name {
+			return v, nil
+		}
+		names = append(names, v.String())
+	}
+	return 0, fmt.Errorf("unknown variant %q (-variant must be one of: %s)",
+		name, strings.Join(names, ", "))
+}
+
+// hintModeByName resolves a -hints value.
+func hintModeByName(name string) (core.HintMode, error) {
+	switch name {
+	case "exact":
+		return core.HintExact, nil
+	case "noisy":
+		return core.HintNoisy, nil
+	case "none":
+		return core.HintNone, nil
+	}
+	return 0, fmt.Errorf("unknown hint mode %q (-hints must be one of: exact, noisy, none)", name)
+}
+
+func suiteNames() []string {
+	var names []string
+	for _, nb := range workload.Suite() {
+		names = append(names, nb.Name)
+	}
+	return names
+}
+
 func main() {
-	var (
-		name    = flag.String("workload", "spmv", "suite workload: spmv|bfs|join|tri|sort|kmeans|gemm|stencil|hist")
-		variant = flag.String("variant", "delta", "execution model: static|dyn-rr|+lb|+lb+mc|delta")
-		lanes   = flag.Int("lanes", 8, "compute lane count")
-		hints   = flag.String("hints", "exact", "work-hint fidelity: exact|noisy|none")
-		vet     = flag.Bool("vet", true, "statically verify the program before running (delta-vet)")
-		verbose = flag.Bool("v", false, "print every counter")
-	)
+	o := options{}
+	flag.StringVar(&o.workload, "workload", "spmv", "suite workload: spmv|bfs|join|tri|sort|kmeans|gemm|stencil|hist")
+	flag.StringVar(&o.variant, "variant", "delta", "execution model: static|dyn-rr|+lb|+lb+mc|delta")
+	flag.IntVar(&o.lanes, "lanes", 8, "compute lane count")
+	flag.StringVar(&o.hints, "hints", "exact", "work-hint fidelity: exact|noisy|none")
+	flag.BoolVar(&o.vet, "vet", true, "statically verify the program before running (delta-vet)")
+	flag.BoolVar(&o.verbose, "v", false, "print every counter")
 	flag.Parse()
 
-	nb := workload.ByName(*name)
-	if nb == nil {
-		fatalf("unknown workload %q", *name)
-	}
-	var v baseline.Variant
-	found := false
-	for cand := baseline.Static; cand < baseline.NumVariants; cand++ {
-		if cand.String() == *variant {
-			v, found = cand, true
-		}
-	}
-	if !found {
-		fatalf("unknown variant %q", *variant)
-	}
-	var hm core.HintMode
-	switch *hints {
-	case "exact":
-		hm = core.HintExact
-	case "noisy":
-		hm = core.HintNoisy
-	case "none":
-		hm = core.HintNone
-	default:
-		fatalf("unknown hint mode %q", *hints)
+	if err := o.validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "delta-sim: %v\n", err)
+		flag.Usage()
+		os.Exit(1)
 	}
 
+	nb := workload.ByName(o.workload)
+	v, _ := variantByName(o.variant)
+	hm, _ := hintModeByName(o.hints)
+
 	w := nb.Build()
-	cfg, opts := v.Configure(config.Default8().WithLanes(*lanes))
+	cfg, opts := v.Configure(config.Default8().WithLanes(o.lanes))
 	opts.Hints = hm
-	opts.Vet = *vet
+	opts.Vet = o.vet
 	rep, err := baseline.RunCfg(cfg, opts, w.Prog, w.Storage)
 	if err != nil {
 		fatalf("run: %v", err)
@@ -67,7 +116,7 @@ func main() {
 		fatalf("verification: %v", err)
 	}
 
-	fmt.Printf("workload=%s variant=%s lanes=%d\n", *name, *variant, *lanes)
+	fmt.Printf("workload=%s variant=%s lanes=%d\n", o.workload, o.variant, o.lanes)
 	fmt.Printf("cycles            %d\n", rep.Cycles)
 	fmt.Printf("tasks run         %d (%d spawned)\n",
 		rep.Stats.Get("tasks_run"), rep.Stats.Get("tasks_spawned"))
@@ -80,7 +129,7 @@ func main() {
 		rep.Stats.Get("mcast_groups"), rep.Stats.Get("mcast_joins"),
 		rep.Stats.Get("mcast_lines_saved"))
 	fmt.Printf("results verified  ok\n")
-	if *verbose {
+	if o.verbose {
 		fmt.Println("\nall counters:")
 		fmt.Print(rep.Stats.String())
 	}

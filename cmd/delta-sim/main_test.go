@@ -1,0 +1,81 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValidateFlags pins the up-front flag validation: bad values must
+// produce a usage-style error naming the flag, never a panic or a
+// partial run.
+func TestValidateFlags(t *testing.T) {
+	valid := options{workload: "spmv", variant: "delta", lanes: 8, hints: "exact"}
+	cases := []struct {
+		name    string
+		mutate  func(*options)
+		wantErr string // substring of the error; empty = must pass
+	}{
+		{"defaults pass", func(o *options) {}, ""},
+		{"static passes", func(o *options) { o.variant = "static" }, ""},
+		{"every suite variant passes", func(o *options) { o.variant = "+lb+mc" }, ""},
+		{"one lane passes", func(o *options) { o.lanes = 1 }, ""},
+		{"noisy hints pass", func(o *options) { o.hints = "noisy" }, ""},
+		{"no hints pass", func(o *options) { o.hints = "none" }, ""},
+		{"unknown workload", func(o *options) { o.workload = "nope" }, "unknown workload"},
+		{"empty workload", func(o *options) { o.workload = "" }, "unknown workload"},
+		{"unknown variant", func(o *options) { o.variant = "turbo" }, "unknown variant"},
+		{"variant is case-sensitive", func(o *options) { o.variant = "Delta" }, "unknown variant"},
+		{"zero lanes", func(o *options) { o.lanes = 0 }, "-lanes"},
+		{"negative lanes", func(o *options) { o.lanes = -4 }, "-lanes"},
+		{"unknown hint mode", func(o *options) { o.hints = "psychic" }, "unknown hint mode"},
+		{"hints are case-sensitive", func(o *options) { o.hints = "Exact" }, "unknown hint mode"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			o := valid
+			c.mutate(&o)
+			err := o.validate()
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validate(%+v) = %v, want nil", o, err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("validate(%+v) = nil, want error containing %q", o, c.wantErr)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("validate(%+v) = %q, want substring %q", o, err, c.wantErr)
+			}
+		})
+	}
+}
+
+// TestVariantByNameCoversAllVariants keeps the lookup in sync with the
+// baseline enum: every declared variant must resolve by display name.
+func TestVariantByNameCoversAllVariants(t *testing.T) {
+	for _, name := range []string{"static", "dyn-rr", "+lb", "+lb+mc", "delta"} {
+		v, err := variantByName(name)
+		if err != nil {
+			t.Fatalf("variantByName(%q): %v", name, err)
+		}
+		if v.String() != name {
+			t.Fatalf("variantByName(%q) = %v", name, v)
+		}
+	}
+	if _, err := variantByName("unknown"); err == nil {
+		t.Fatal("unknown variant must error")
+	}
+}
+
+// TestHintModeByName pins the -hints value set and its error message.
+func TestHintModeByName(t *testing.T) {
+	for _, name := range []string{"exact", "noisy", "none"} {
+		if _, err := hintModeByName(name); err != nil {
+			t.Fatalf("hintModeByName(%q): %v", name, err)
+		}
+	}
+	if _, err := hintModeByName("fuzzy"); err == nil {
+		t.Fatal("unknown hint mode must error")
+	}
+}

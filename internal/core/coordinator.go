@@ -125,6 +125,47 @@ func (c *coordinator) AllDone() bool {
 	return c.m.mcast.drained()
 }
 
+// NextEvent reports when the coordinator can next act: at control-pipe
+// maturity (completions, spawns), at the multicast manager's next
+// deadline, or immediately when the current phase has pending tasks and
+// some lane has queue space. Pending tasks with every lane queue full
+// contribute no event: dispatch (including forward-group formation,
+// which also needs free lanes) cannot progress until a lane drains, and
+// lanes with queued tasks always forecast their own activity.
+func (c *coordinator) NextEvent(now sim.Cycle) sim.Cycle {
+	ev := c.completions.NextAt()
+	if ev <= now {
+		return now
+	}
+	if at := c.spawnsPipe.NextAt(); at <= now {
+		return now
+	} else if at < ev {
+		ev = at
+	}
+	if mc := c.m.mcast.nextEvent(now); mc <= now {
+		return now
+	} else if mc < ev {
+		ev = mc
+	}
+	if c.pendingCount[c.phase] > 0 {
+		for i := 0; i < c.m.cfg.Lanes; i++ {
+			if c.m.lanes[i].QueueSpace() > 0 {
+				return now
+			}
+		}
+	}
+	return ev
+}
+
+// Skip replays the barrier-wait accounting of skipped cycles: every
+// cycle with an empty current-phase queue but active tasks records one
+// wait (the first dispatchOne call of that cycle's Tick would have).
+func (c *coordinator) Skip(from, to sim.Cycle) {
+	if c.pendingCount[c.phase] == 0 && c.activeCount[c.phase] > 0 {
+		c.BarrierWaits += int64(to - from)
+	}
+}
+
 // Tick drains control pipes, advances phases, runs the multicast
 // manager, and dispatches under the per-cycle budget.
 func (c *coordinator) Tick(now sim.Cycle) {

@@ -38,6 +38,7 @@ type completeEvt struct {
 // time from its hardware task queue.
 type Lane struct {
 	id   int
+	node int // cached NoC node id (Topology.LaneNode is O(nodes·channels))
 	m    *Machine
 	eng  *stream.Engine
 	spad *mem.Spad
@@ -60,8 +61,9 @@ type Lane struct {
 	TasksRun     int64
 	ConfigStalls int64
 	// StallIn attributes blocked firing attempts to the input source
-	// kind that gated them; StallOut counts output-space stalls.
-	StallIn  map[stream.SrcKind]int64
+	// kind that gated them (indexed by stream.SrcKind); StallOut counts
+	// output-space stalls.
+	StallIn  [stream.NumSrcKinds]int64
 	StallOut int64
 }
 
@@ -69,6 +71,7 @@ func newLane(id int, m *Machine) *Lane {
 	spad := mem.NewSpad(m.cfg.Spad)
 	l := &Lane{
 		id:        id,
+		node:      m.topo.LaneNode(id),
 		m:         m,
 		spad:      spad,
 		queue:     sim.NewQueue[*resolved](m.cfg.Task.QueueDepth),
@@ -76,7 +79,6 @@ func newLane(id int, m *Machine) *Lane {
 		prod:      sim.NewPipe[prodEvt](0),
 		spawnPipe: sim.NewPipe[spawnEvt](0),
 		reserved:  make([]int, m.cfg.Fabric.NumPorts),
-		StallIn:   make(map[stream.SrcKind]int64),
 	}
 	l.eng = stream.NewEngine(id, m.cfg, m.topo, m.mesh, spad)
 	return l
@@ -95,7 +97,7 @@ func (l *Lane) enqueue(r *resolved) {
 // Tick advances the lane one cycle.
 func (l *Lane) Tick(now sim.Cycle) {
 	// Deliver NoC messages to the stream engine.
-	node := l.m.topo.LaneNode(l.id)
+	node := l.node
 	for {
 		msg, ok := l.m.mesh.Pop(node)
 		if !ok {
@@ -212,9 +214,12 @@ func (l *Lane) run(now sim.Cycle) {
 	}
 }
 
-// canFire checks element availability and output space for the next
-// firing, attributing stalls to the first blocking port.
-func (l *Lane) canFire(r *resolved) bool {
+// fireBlock checks element availability and output space for the next
+// firing without touching statistics. ok reports whether the firing can
+// proceed; when it cannot, exactly one of out (output-space stall) or
+// in (the first blocking input port's source kind) identifies the
+// blocker, matching the attribution order canFire has always used.
+func (l *Lane) fireBlock(r *resolved) (in stream.SrcKind, out, ok bool) {
 	f := l.firing
 	for p := 0; p < len(r.inSet); p++ {
 		if r.inSet[p].Kind == stream.SrcNone {
@@ -222,8 +227,7 @@ func (l *Lane) canFire(r *resolved) bool {
 		}
 		need := portDelta(r.inN[p], f, r.firings)
 		if need > 0 && l.eng.Avail(p) < need {
-			l.StallIn[r.inSet[p].Kind]++
-			return false
+			return r.inSet[p].Kind, false, false
 		}
 	}
 	for p := 0; p < len(r.outSet); p++ {
@@ -232,11 +236,24 @@ func (l *Lane) canFire(r *resolved) bool {
 		}
 		k := portDelta(r.outN[p], f, r.firings)
 		if k > 0 && !l.eng.OutSpace(p, l.reserved[p]+k) {
-			l.StallOut++
-			return false
+			return 0, true, false
 		}
 	}
-	return true
+	return 0, false, true
+}
+
+// canFire checks the next firing and attributes a failed attempt to the
+// blocking port.
+func (l *Lane) canFire(r *resolved) bool {
+	in, out, ok := l.fireBlock(r)
+	if !ok {
+		if out {
+			l.StallOut++
+		} else {
+			l.StallIn[in]++
+		}
+	}
+	return ok
 }
 
 // fire consumes one firing's inputs and schedules its outputs and
@@ -275,4 +292,100 @@ func (l *Lane) fire(now sim.Cycle, r *resolved) {
 func (l *Lane) Idle() bool {
 	return l.state == laneIdle && l.queue.Empty() && l.spad.Idle() &&
 		l.prod.Empty() && l.spawnPipe.Empty()
+}
+
+// NextEvent reports when the lane can next act absent new external
+// input: immediately when NoC deliveries wait, the scratchpad or stream
+// engine has issuable work, a queued task can be popped or prefetched,
+// or an unstalled firing is due; at a timer otherwise (config done,
+// production/spawn maturity, deferred firing). A lane stalled on
+// unavailable inputs or output space contributes no event — the
+// component that will unblock it (mesh, DRAM, scratchpad, consumer
+// lane) bounds the horizon, and the per-cycle stall attribution those
+// skipped retry cycles would have recorded is replayed by Skip.
+func (l *Lane) NextEvent(now sim.Cycle) sim.Cycle {
+	if l.m.mesh.Deliverable(l.node) {
+		return now
+	}
+	ev := l.spad.NextEvent(now)
+	if ev <= now {
+		return now
+	}
+	if e := l.eng.NextEvent(now); e <= now {
+		return now
+	} else if e < ev {
+		ev = e
+	}
+	if at := l.prod.NextAt(); at <= now {
+		return now
+	} else if at < ev {
+		ev = at
+	}
+	if at := l.spawnPipe.NextAt(); at <= now {
+		return now
+	} else if at < ev {
+		ev = at
+	}
+	// The argument-prefetch datapath arms on the next tick whenever a
+	// task is running and another waits unprefetched.
+	if l.cur != nil && !l.m.cfg.Task.DisablePrefetch && !l.eng.HasAhead() && !l.queue.Empty() {
+		return now
+	}
+	switch l.state {
+	case laneIdle:
+		if !l.queue.Empty() {
+			return now
+		}
+	case laneConfig:
+		if l.configDone <= now {
+			return now
+		}
+		if l.configDone < ev {
+			ev = l.configDone
+		}
+	case laneRunning:
+		if l.firing < l.cur.firings {
+			if _, _, ok := l.fireBlock(l.cur); ok {
+				if l.nextFire <= now {
+					return now
+				}
+				if l.nextFire < ev {
+					ev = l.nextFire
+				}
+			}
+		}
+	}
+	return ev
+}
+
+// Skip replays the per-cycle accounting of skipped cycles [from, to):
+// busy-cycle counting whenever the lane holds work, and stall
+// attribution for every due-but-blocked firing attempt. The blocking
+// port cannot change during a skip (no component ticks, so no input
+// arrives), which is what makes the bulk update exact.
+func (l *Lane) Skip(from, to sim.Cycle) {
+	if l.state != laneIdle || !l.queue.Empty() {
+		l.BusyCycles += int64(to - from)
+	}
+	if l.state == laneRunning && l.firing < l.cur.firings {
+		start := l.nextFire
+		if start < from {
+			start = from
+		}
+		if start >= to {
+			return
+		}
+		in, out, ok := l.fireBlock(l.cur)
+		if ok {
+			// The forecast returns nextFire when the firing can
+			// proceed, so the engine never skips past it.
+			panic("core: lane skipped over a ready firing")
+		}
+		n := int64(to - start)
+		if out {
+			l.StallOut += n
+		} else {
+			l.StallIn[in] += n
+		}
+	}
 }

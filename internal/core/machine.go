@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"os"
 
 	"taskstream/internal/config"
 	"taskstream/internal/fabric"
@@ -28,6 +29,12 @@ type Options struct {
 	// RegisterVetter; internal/analysis provides it) before the machine
 	// is wired. NewMachine fails if the program does not vet clean.
 	Vet bool
+	// DisableFastForward forces cycle-by-cycle execution. Fast-forward
+	// is on by default and byte-identical to it (DESIGN.md §11); this
+	// switch exists for the equality tests and for debugging. The
+	// TASKSTREAM_NO_FASTFORWARD environment variable disables it
+	// machine-wide for whole-binary A/B comparison.
+	DisableFastForward bool
 }
 
 // Machine is one fully wired accelerator instance executing one
@@ -116,10 +123,11 @@ func NewMachine(cfg config.Config, prog *Program, storage *mem.Storage, opts Opt
 	m.coord = newCoordinator(m, opts.Policy)
 
 	m.engine = sim.NewEngine()
+	m.engine.FastForward = !opts.DisableFastForward && os.Getenv("TASKSTREAM_NO_FASTFORWARD") == ""
 	if opts.MaxCycles > 0 {
 		m.engine.MaxCycles = opts.MaxCycles
 	}
-	m.engine.Register("clock", tickFunc(func(now sim.Cycle) { m.now = now }))
+	m.engine.Register("clock", clockTicker{m: m})
 	m.engine.Register("coordinator", m.coord)
 	for i, l := range m.lanes {
 		m.engine.Register(fmt.Sprintf("lane%d", i), l)
@@ -134,10 +142,14 @@ func NewMachine(cfg config.Config, prog *Program, storage *mem.Storage, opts Opt
 	return m, nil
 }
 
-// tickFunc adapts a closure to sim.Ticker.
-type tickFunc func(sim.Cycle)
+// clockTicker publishes the engine's cycle into m.now. Registered
+// first, so every other component's Tick sees the fresh value. It never
+// originates events.
+type clockTicker struct{ m *Machine }
 
-func (f tickFunc) Tick(now sim.Cycle) { f(now) }
+func (c clockTicker) Tick(now sim.Cycle) { c.m.now = now }
+
+func (c clockTicker) NextEvent(now sim.Cycle) sim.Cycle { return sim.Never }
 
 // chanTicker adapts a DRAM channel (its responses are drained by the
 // memory controller, so the channel itself only ticks).
@@ -145,6 +157,10 @@ type chanTicker struct{ ch *mem.Channel }
 
 func (c chanTicker) Tick(now sim.Cycle) { c.ch.Tick(now) }
 func (c chanTicker) Idle() bool         { return c.ch.Idle() }
+
+func (c chanTicker) NextEvent(now sim.Cycle) sim.Cycle { return c.ch.NextEvent(now) }
+
+func (c chanTicker) Skip(from, to sim.Cycle) { c.ch.Skip(from, to) }
 
 // Storage returns the functional store (for result verification).
 func (m *Machine) Storage() *mem.Storage { return m.storage }
@@ -191,11 +207,19 @@ func (m *Machine) submitMcast(req proto.McastReq) bool {
 // Run executes the program to completion and reports.
 func (m *Machine) Run() (Report, error) {
 	cycles, err := m.engine.Run(m.coord.AllDone)
+	if ffDebug {
+		fmt.Fprintf(os.Stderr, "ffstats executed=%d skipped=%d\n",
+			m.engine.ExecutedCycles, m.engine.SkippedCycles)
+	}
 	if err != nil {
 		return Report{}, err
 	}
 	return m.report(int64(cycles)), nil
 }
+
+// ffDebug (TASKSTREAM_FF_DEBUG) prints per-run fast-forward meters to
+// stderr: cycles individually executed versus skipped.
+var ffDebug = os.Getenv("TASKSTREAM_FF_DEBUG") != ""
 
 // report assembles the statistics snapshot.
 func (m *Machine) report(cycles int64) Report {
@@ -268,18 +292,19 @@ func (m *Machine) report(cycles int64) Report {
 type memCtrl struct {
 	m    *Machine
 	chn  int
+	node int // cached NoC node id
 	ch   *mem.Channel
 	held *noc.Message // response that could not inject (backpressure)
 }
 
 func newMemCtrl(m *Machine, chn int, ch *mem.Channel) *memCtrl {
-	return &memCtrl{m: m, chn: chn, ch: ch}
+	return &memCtrl{m: m, chn: chn, node: m.topo.MemNode(chn), ch: ch}
 }
 
 // Tick drains NoC requests into the channel and channel responses back
 // into the NoC.
 func (mc *memCtrl) Tick(now sim.Cycle) {
-	node := mc.m.topo.MemNode(mc.chn)
+	node := mc.node
 	// Requests: accept while the channel has queue space.
 	for mc.ch.QueueSpace() > 0 {
 		msg, ok := mc.m.mesh.Pop(node)
@@ -322,7 +347,7 @@ func (mc *memCtrl) Tick(now sim.Cycle) {
 		msg = noc.Message{
 			Kind:  noc.KindMemResp,
 			Src:   node,
-			Dests: noc.DestMask(mc.m.topo.LaneNode(lane)),
+			Dests: noc.DestMask(mc.m.lanes[lane].node),
 			Bytes: bytes,
 			Body:  proto.MemRespBody{Line: r.Line, Write: r.Write, ReqID: r.ID},
 		}
@@ -334,3 +359,17 @@ func (mc *memCtrl) Tick(now sim.Cycle) {
 
 // Idle reports controller quiescence.
 func (mc *memCtrl) Idle() bool { return mc.held == nil && mc.ch.Idle() }
+
+// NextEvent reports when the controller can next act: immediately when
+// a held response can retry injection, NoC requests wait and the
+// channel can accept, or a matured response waits; at response maturity
+// otherwise.
+func (mc *memCtrl) NextEvent(now sim.Cycle) sim.Cycle {
+	if mc.held != nil {
+		return now
+	}
+	if mc.m.mesh.Deliverable(mc.node) && mc.ch.QueueSpace() > 0 {
+		return now
+	}
+	return mc.ch.RespNextAt()
+}

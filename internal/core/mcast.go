@@ -143,6 +143,23 @@ func (mm *mcastManager) tick(now sim.Cycle, budget int, submit func(proto.McastR
 	}
 }
 
+// nextEvent reports when the manager's tick can next do anything:
+// immediately while lines wait to issue (retried under backpressure
+// every cycle), at the earliest group-close deadline otherwise.
+// Directory entries are passive lookups, not events.
+func (mm *mcastManager) nextEvent(now sim.Cycle) sim.Cycle {
+	if len(mm.issuing) > 0 {
+		return now
+	}
+	ev := sim.Never
+	for _, g := range mm.open {
+		if g.closes < ev {
+			ev = g.closes
+		}
+	}
+	return ev
+}
+
 // register records an in-flight multicast request so the memory
 // controller can route its response; the controller removes it.
 func (mm *mcastManager) register(reqID uint64, req proto.McastReq) {

@@ -123,7 +123,7 @@ func (m *Machine) resolve(t Task, lane int, opts resolveOpts) (*resolved, error)
 			setup := stream.ReadSetup{Kind: stream.SrcDRAM, N: in.N, Addrs: addrs}
 			if in.Shared && m.cfg.Task.EnableMulticast && in.Kind == ArgDRAMLinear {
 				// Join or open a multicast group for this range.
-				g := m.mcast.join(in.Base, in.N, m.topo.LaneNode(lane), m.now)
+				g := m.mcast.join(in.Base, in.N, m.lanes[lane].node, m.now)
 				setup = stream.ReadSetup{
 					Kind:     stream.SrcMulticast,
 					N:        in.N,

@@ -90,6 +90,40 @@ func (ch *Channel) PopResponse(now sim.Cycle) (Response, bool) {
 // Idle reports whether the channel has no queued or in-flight work.
 func (ch *Channel) Idle() bool { return ch.queue.Empty() && ch.resp.Empty() }
 
+// NextEvent reports when the channel's own Tick can next act: with
+// requests queued, the next service start (bounded below by the data
+// bus freeing at nextIssue); with an empty queue, never — response
+// maturity is the owner's event (see RespNextAt), and the bus-busy tail
+// is pure time-linear accounting replayed by Skip.
+func (ch *Channel) NextEvent(now sim.Cycle) sim.Cycle {
+	if ch.queue.Empty() {
+		return sim.Never
+	}
+	if ch.nextIssue > now {
+		return ch.nextIssue
+	}
+	return now
+}
+
+// Skip replays the per-cycle busy accounting for skipped cycles
+// [from, to): every cycle with the data bus still serializing a line
+// (now < nextIssue) counts as busy, exactly as Tick would have counted
+// it.
+func (ch *Channel) Skip(from, to sim.Cycle) {
+	if ch.nextIssue > from {
+		end := ch.nextIssue
+		if end > to {
+			end = to
+		}
+		ch.BusyCycles += int64(end - from)
+	}
+}
+
+// RespNextAt returns the maturity cycle of the earliest in-flight
+// response, or sim.Never — the forecast contribution of whichever
+// component drains this channel's responses.
+func (ch *Channel) RespNextAt() sim.Cycle { return ch.resp.NextAt() }
+
 // QueueSpace returns remaining request-queue slots.
 func (ch *Channel) QueueSpace() int { return ch.queue.Cap() - ch.queue.Len() }
 

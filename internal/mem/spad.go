@@ -62,6 +62,18 @@ func (s *Spad) PopResponse(now sim.Cycle) (Response, bool) {
 	return s.resp.Recv(now)
 }
 
+// NextEvent reports when the scratchpad can next act: immediately while
+// any bank has pending accesses, otherwise at the maturity of the
+// earliest in-flight response (drained by the owning lane's engine).
+func (s *Spad) NextEvent(now sim.Cycle) sim.Cycle {
+	for _, q := range s.pending {
+		if !q.Empty() {
+			return now
+		}
+	}
+	return s.resp.NextAt()
+}
+
 // Idle reports whether all banks are drained.
 func (s *Spad) Idle() bool {
 	for _, q := range s.pending {

@@ -61,8 +61,12 @@ type link struct {
 	q         *sim.Queue[Message]
 	busyUntil sim.Cycle
 	inflight  *sim.Pipe[Message]
-	blocked   *Message // head-of-line message that could not route on
-	flits     int64
+	// blocked holds the head-of-line message that could not route on
+	// (valid when hasBlocked; stored by value so blocking never
+	// allocates).
+	blocked    Message
+	hasBlocked bool
+	flits      int64
 }
 
 const (
@@ -80,10 +84,25 @@ type Mesh struct {
 	cols, rows int
 	// out[n][d] is node n's outgoing link in direction d.
 	out [][numDirs]*link
+	// inLinks[n] lists node n's incoming links in Tick's processing
+	// order (precomputed so the per-cycle loops do no neighbor
+	// arithmetic); allLinks flattens every link in phase-B order.
+	inLinks  [][]*link
+	allLinks []*link
 	// inject[n] is node n's local injection queue.
 	inject []*sim.Queue[Message]
-	// eject[n] is node n's (unbounded) delivery queue.
-	eject [][]Message
+	// eject[n] is node n's (unbounded) delivery queue; a reusable ring
+	// so steady-state delivery neither reallocates nor leaks head
+	// capacity the way the old append/shift slice did.
+	eject []sim.Deque[Message]
+	// injectN, linkN, and ejectN count buffered messages (injection
+	// queues; link queues + in-flight + blocked heads; delivery
+	// queues). injectN and linkN both zero means a Tick has nothing to
+	// do, making the empty-mesh cycle O(1) instead of a full link scan;
+	// all three zero makes Idle O(1).
+	injectN int
+	linkN   int
+	ejectN  int
 
 	// Stats.
 	MsgsSent   int64
@@ -102,7 +121,7 @@ func NewMesh(cfg config.NoC, nodes int) *Mesh {
 	m := &Mesh{cfg: cfg, nodes: nodes, cols: cols, rows: rows}
 	m.out = make([][numDirs]*link, nodes)
 	m.inject = make([]*sim.Queue[Message], nodes)
-	m.eject = make([][]Message, nodes)
+	m.eject = make([]sim.Deque[Message], nodes)
 	for n := 0; n < nodes; n++ {
 		for d := 0; d < numDirs; d++ {
 			if m.neighbor(n, d) >= 0 {
@@ -113,6 +132,21 @@ func NewMesh(cfg config.NoC, nodes int) *Mesh {
 			}
 		}
 		m.inject[n] = sim.NewQueue[Message](cfg.VCDepth)
+	}
+	m.inLinks = make([][]*link, nodes)
+	for n := 0; n < nodes; n++ {
+		for d := 0; d < numDirs; d++ {
+			if nb := m.neighbor(n, d); nb >= 0 {
+				m.inLinks[n] = append(m.inLinks[n], m.out[nb][opposite(d)])
+			}
+		}
+	}
+	for n := 0; n < nodes; n++ {
+		for d := 0; d < numDirs; d++ {
+			if l := m.out[n][d]; l != nil {
+				m.allLinks = append(m.allLinks, l)
+			}
+		}
 	}
 	return m
 }
@@ -184,19 +218,24 @@ func (m *Mesh) TryInject(msg Message) bool {
 	if !m.inject[msg.Src].Push(msg) {
 		return false
 	}
+	m.injectN++
 	m.MsgsSent++
 	return true
 }
 
 // Pop removes the next delivered message at node n, if any.
 func (m *Mesh) Pop(n int) (Message, bool) {
-	if len(m.eject[n]) == 0 {
-		return Message{}, false
+	msg, ok := m.eject[n].Pop()
+	if ok {
+		m.ejectN--
 	}
-	msg := m.eject[n][0]
-	m.eject[n] = m.eject[n][1:]
-	return msg, true
+	return msg, ok
 }
+
+// Deliverable reports whether node n has delivered messages waiting —
+// the forecast contribution of the component that drains node n's
+// ejection queue (a lane or memory controller).
+func (m *Mesh) Deliverable(n int) bool { return !m.eject[n].Empty() }
 
 // serCycles is the link occupancy of one message.
 func (m *Mesh) serCycles(msg Message) sim.Cycle {
@@ -239,12 +278,14 @@ func (m *Mesh) route(n int, msg Message) bool {
 		cp := msg
 		cp.Dests = mask
 		m.out[n][dir].q.Push(cp)
+		m.linkN++
 		branches++
 	}
 	if local != 0 {
 		cp := msg
 		cp.Dests = local
-		m.eject[n] = append(m.eject[n], cp)
+		m.eject[n].Push(cp)
+		m.ejectN++
 		branches++
 	}
 	if branches > 1 {
@@ -254,28 +295,30 @@ func (m *Mesh) route(n int, msg Message) bool {
 }
 
 // Tick advances the network one cycle: deliver matured arrivals into
-// routers, then start new link transmissions.
+// routers, then start new link transmissions. An empty mesh (no
+// injected or link-resident messages) ticks in O(1).
 func (m *Mesh) Tick(now sim.Cycle) {
+	if m.injectN == 0 && m.linkN == 0 {
+		return
+	}
 	// Phase A: routing. For each node, retry blocked heads, then route
 	// newly arrived messages, then drain the injection port.
 	for n := 0; n < m.nodes; n++ {
-		for d := 0; d < numDirs; d++ {
-			// The in-link from direction d is the neighbor's out-link
-			// pointing back at us.
-			nb := m.neighbor(n, d)
-			if nb < 0 {
-				continue
-			}
-			l := m.out[nb][opposite(d)]
-			if l.blocked != nil {
-				if m.route(n, *l.blocked) {
-					l.blocked = nil
+		for _, l := range m.inLinks[n] {
+			if l.hasBlocked {
+				if m.route(n, l.blocked) {
+					l.blocked = Message{} // release the Body reference
+					l.hasBlocked = false
+					m.linkN--
 				}
 				continue // head-of-line blocking: nothing else this cycle
 			}
 			if msg, ok := l.inflight.Recv(now); ok {
+				m.linkN--
 				if !m.route(n, msg) {
-					l.blocked = &msg
+					l.blocked = msg
+					l.hasBlocked = true
+					m.linkN++
 				}
 			}
 		}
@@ -283,48 +326,89 @@ func (m *Mesh) Tick(now sim.Cycle) {
 		if msg, ok := m.inject[n].Peek(); ok {
 			if m.route(n, msg) {
 				m.inject[n].Pop()
+				m.injectN--
 			}
 		}
 	}
 	// Phase B: link transmission.
-	for n := 0; n < m.nodes; n++ {
-		for d := 0; d < numDirs; d++ {
-			l := m.out[n][d]
-			if l == nil || now < l.busyUntil {
-				continue
+	for _, l := range m.allLinks {
+		if now < l.busyUntil {
+			continue
+		}
+		msg, ok := l.q.Pop()
+		if !ok {
+			continue
+		}
+		ser := m.serCycles(msg)
+		l.busyUntil = now + ser
+		l.flits += int64(ser)
+		m.FlitCycles += int64(ser)
+		l.inflight.SendAt(now+ser+sim.Cycle(m.cfg.LinkLatency), msg)
+	}
+}
+
+// NextEvent reports when the mesh's own Tick can next act: immediately
+// while any injection queue holds a message or any link has a blocked
+// head (both retried every cycle); at link-transmission start when a
+// link queue waits on its busy-until timer; at arrival maturity for
+// in-flight link traffic. Ejected messages are not mesh events — their
+// consumers forecast them via Deliverable. An empty mesh answers in
+// O(1).
+func (m *Mesh) NextEvent(now sim.Cycle) sim.Cycle {
+	if m.injectN > 0 {
+		return now
+	}
+	if m.linkN == 0 {
+		return sim.Never
+	}
+	ev := sim.Never
+	for _, l := range m.allLinks {
+		if l.hasBlocked {
+			return now
+		}
+		if at := l.inflight.NextAt(); at < ev {
+			if at <= now {
+				return now
 			}
-			msg, ok := l.q.Pop()
-			if !ok {
-				continue
+			ev = at
+		}
+		if !l.q.Empty() {
+			if l.busyUntil <= now {
+				return now
 			}
-			ser := m.serCycles(msg)
-			l.busyUntil = now + ser
-			l.flits += int64(ser)
-			m.FlitCycles += int64(ser)
-			l.inflight.SendAt(now+ser+sim.Cycle(m.cfg.LinkLatency), msg)
+			if l.busyUntil < ev {
+				ev = l.busyUntil
+			}
 		}
 	}
+	return ev
 }
 
 // Idle reports whether no message is buffered or in flight anywhere.
 // Ejection queues count: a message is in flight until its consumer pops
 // it.
 func (m *Mesh) Idle() bool {
+	return m.injectN == 0 && m.linkN == 0 && m.ejectN == 0
+}
+
+// residents recounts every buffered message directly from the queues;
+// tests use it to pin the incremental counters to ground truth.
+func (m *Mesh) residents() (inject, link, eject int) {
 	for n := 0; n < m.nodes; n++ {
-		if !m.inject[n].Empty() || len(m.eject[n]) > 0 {
-			return false
-		}
+		inject += m.inject[n].Len()
+		eject += m.eject[n].Len()
 		for d := 0; d < numDirs; d++ {
 			l := m.out[n][d]
 			if l == nil {
 				continue
 			}
-			if !l.q.Empty() || !l.inflight.Empty() || l.blocked != nil {
-				return false
+			link += l.q.Len() + l.inflight.Len()
+			if l.hasBlocked {
+				link++
 			}
 		}
 	}
-	return true
+	return
 }
 
 func opposite(d int) int {

@@ -282,3 +282,72 @@ func TestPropertyAllDestinationsCovered(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestOccupancyCountersMatchQueues pins the O(1) occupancy counters
+// (which gate the empty-Tick early return, NextEvent, and Idle) to a
+// direct recount of every queue at every cycle of a contended
+// multicast-heavy run. A drifting counter would make Idle/NextEvent
+// lie and silently break fast-forwarding.
+func TestOccupancyCountersMatchQueues(t *testing.T) {
+	m := NewMesh(cfg(), 16)
+	check := func(now sim.Cycle) {
+		t.Helper()
+		inj, link, ej := m.residents()
+		if m.injectN != inj || m.linkN != link || m.ejectN != ej {
+			t.Fatalf("cycle %d: counters (inject=%d link=%d eject=%d) != recount (%d %d %d)",
+				now, m.injectN, m.linkN, m.ejectN, inj, link, ej)
+		}
+		if m.Idle() != (inj == 0 && link == 0 && ej == 0) {
+			t.Fatalf("cycle %d: Idle()=%v disagrees with recount (%d %d %d)",
+				now, m.Idle(), inj, link, ej)
+		}
+	}
+	sent := 0
+	for now := sim.Cycle(0); now < 400; now++ {
+		// Mixed unicast + multicast injections keep links, blocked
+		// heads, and ejection queues all populated at once.
+		if now < 120 {
+			for src := 0; src < 16; src++ {
+				msg := Message{Kind: KindMemReq, Src: src, Bytes: 48,
+					Dests: DestMask((src + 1 + sent) % 16)}
+				if src%5 == 0 {
+					msg.Dests = DestMask(0) | DestMask(5) | DestMask(10) | DestMask(15)
+				}
+				if m.TryInject(msg) {
+					sent++
+				}
+			}
+		}
+		check(now)
+		m.Tick(now)
+		check(now)
+		// Pop only some nodes, so ejection queues back up.
+		for n := 0; n < 16; n += 2 {
+			for {
+				if _, ok := m.Pop(n); !ok {
+					break
+				}
+			}
+			check(now)
+		}
+	}
+	if sent == 0 {
+		t.Fatal("no messages injected")
+	}
+	// Drain completely: counters must reach exactly zero.
+	for now := sim.Cycle(400); !m.Idle(); now++ {
+		if now > 5000 {
+			t.Fatal("mesh did not drain")
+		}
+		m.Tick(now)
+		for n := 0; n < 16; n++ {
+			for {
+				if _, ok := m.Pop(n); !ok {
+					break
+				}
+			}
+		}
+		check(now)
+	}
+	check(5001)
+}

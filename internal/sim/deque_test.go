@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDequeFIFO(t *testing.T) {
+	var d Deque[int]
+	if !d.Empty() || d.Len() != 0 {
+		t.Fatal("zero Deque should be empty")
+	}
+	if _, ok := d.Pop(); ok {
+		t.Fatal("pop from empty deque should fail")
+	}
+	for i := 0; i < 20; i++ {
+		d.Push(i)
+	}
+	if v, ok := d.Peek(); !ok || v != 0 {
+		t.Fatalf("peek = %d,%v want 0,true", v, ok)
+	}
+	for i := 0; i < 20; i++ {
+		v, ok := d.Pop()
+		if !ok || v != i {
+			t.Fatalf("pop = %d,%v want %d,true", v, ok, i)
+		}
+	}
+	if !d.Empty() {
+		t.Fatal("deque should drain empty")
+	}
+}
+
+func TestDequeWraparound(t *testing.T) {
+	// Interleaved pushes and pops force the ring head past the physical
+	// end repeatedly; order must survive every grow-and-unwrap.
+	var d Deque[int]
+	next := 0
+	for i := 0; i < 200; i++ {
+		for k := 0; k < 3; k++ {
+			d.Push(i*3 + k)
+		}
+		for k := 0; k < 2; k++ {
+			v, ok := d.Pop()
+			if !ok || v != next {
+				t.Fatalf("got %d,%v want %d,true", v, ok, next)
+			}
+			next++
+		}
+	}
+	for !d.Empty() {
+		v, _ := d.Pop()
+		if v != next {
+			t.Fatalf("drain order broken: got %d want %d", v, next)
+		}
+		next++
+	}
+	if next != 600 {
+		t.Fatalf("drained %d items, want 600", next)
+	}
+}
+
+func TestDequeProperty(t *testing.T) {
+	// Property: an arbitrary push/pop interleaving matches a slice model.
+	f := func(ops []bool) bool {
+		var d Deque[int]
+		var model []int
+		next := 0
+		for _, push := range ops {
+			if push {
+				d.Push(next)
+				model = append(model, next)
+				next++
+			} else {
+				v, ok := d.Pop()
+				if ok != (len(model) > 0) {
+					return false
+				}
+				if ok {
+					if v != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			}
+			if d.Len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,15 +1,20 @@
 package sim
 
-import "container/heap"
-
 // Pipe models a fixed-latency, unbounded-in-flight delivery channel:
 // items pushed at cycle c become visible to the consumer at cycle
 // c+latency. DRAM responses and wire delays use it. Delivery order for
 // items that mature on the same cycle is insertion order, keeping runs
 // deterministic.
+//
+// The backing store is a hand-rolled binary min-heap rather than
+// container/heap: Push/Pop on the stdlib interface box every item into
+// an `any`, which costs one allocation per send on the simulator's
+// hottest paths (DRAM responses, NoC link delivery). The heap slice is
+// reused across the run, so a warmed pipe sends and receives without
+// allocating.
 type Pipe[T any] struct {
 	latency Cycle
-	h       pipeHeap[T]
+	h       []pipeItem[T]
 	seq     int64
 }
 
@@ -17,25 +22,6 @@ type pipeItem[T any] struct {
 	at  Cycle
 	seq int64
 	v   T
-}
-
-type pipeHeap[T any] []pipeItem[T]
-
-func (h pipeHeap[T]) Len() int { return len(h) }
-func (h pipeHeap[T]) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h pipeHeap[T]) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *pipeHeap[T]) Push(x any)   { *h = append(*h, x.(pipeItem[T])) }
-func (h *pipeHeap[T]) Pop() any {
-	old := *h
-	n := len(old)
-	v := old[n-1]
-	*h = old[:n-1]
-	return v
 }
 
 // NewPipe returns a pipe with the given delivery latency in cycles.
@@ -47,16 +33,63 @@ func NewPipe[T any](latency Cycle) *Pipe[T] {
 	return &Pipe[T]{latency: latency}
 }
 
+// less orders the heap by maturity cycle, then send order.
+func (p *Pipe[T]) less(i, j int) bool {
+	if p.h[i].at != p.h[j].at {
+		return p.h[i].at < p.h[j].at
+	}
+	return p.h[i].seq < p.h[j].seq
+}
+
+func (p *Pipe[T]) push(it pipeItem[T]) {
+	p.h = append(p.h, it)
+	i := len(p.h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !p.less(i, parent) {
+			break
+		}
+		p.h[i], p.h[parent] = p.h[parent], p.h[i]
+		i = parent
+	}
+}
+
+func (p *Pipe[T]) pop() pipeItem[T] {
+	top := p.h[0]
+	n := len(p.h) - 1
+	p.h[0] = p.h[n]
+	var zero pipeItem[T]
+	p.h[n] = zero // release references held by pointer-ish payloads
+	p.h = p.h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && p.less(l, small) {
+			small = l
+		}
+		if r < n && p.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		p.h[i], p.h[small] = p.h[small], p.h[i]
+		i = small
+	}
+	return top
+}
+
 // Send schedules v for delivery at now+latency.
 func (p *Pipe[T]) Send(now Cycle, v T) {
-	heap.Push(&p.h, pipeItem[T]{at: now + p.latency, seq: p.seq, v: v})
+	p.push(pipeItem[T]{at: now + p.latency, seq: p.seq, v: v})
 	p.seq++
 }
 
 // SendAt schedules v for delivery at the explicit cycle at, which must
 // not be in the past relative to the caller's now.
 func (p *Pipe[T]) SendAt(at Cycle, v T) {
-	heap.Push(&p.h, pipeItem[T]{at: at, seq: p.seq, v: v})
+	p.push(pipeItem[T]{at: at, seq: p.seq, v: v})
 	p.seq++
 }
 
@@ -65,8 +98,17 @@ func (p *Pipe[T]) Recv(now Cycle) (v T, ok bool) {
 	if len(p.h) == 0 || p.h[0].at > now {
 		return v, false
 	}
-	it := heap.Pop(&p.h).(pipeItem[T])
-	return it.v, true
+	return p.pop().v, true
+}
+
+// NextAt returns the earliest delivery cycle among in-flight items, or
+// Never when the pipe is empty — the pipe's event-horizon contribution
+// for forecasting components.
+func (p *Pipe[T]) NextAt() Cycle {
+	if len(p.h) == 0 {
+		return Never
+	}
+	return p.h[0].at
 }
 
 // Len returns the number of in-flight items.

@@ -13,13 +13,33 @@
 // a fixed architectural order (memory, NoC, lanes by index) and
 // communicate only through Queue/Pipe, which decouple producer and
 // consumer by at least one cycle of visibility where it matters.
+//
+// # Event-horizon fast-forwarding
+//
+// Run supports an opt-in discrete-event acceleration: when every
+// registered component implements Forecaster, the engine computes the
+// minimum "event horizon" after each executed cycle — the earliest
+// future cycle at which any component's externally visible state can
+// change — and advances time directly to it instead of executing the
+// intervening empty cycles. Components whose per-cycle behavior during
+// those empty cycles is pure time-linear accounting (busy counters,
+// stall attribution) implement Skipper so the engine can replay that
+// accounting in bulk, keeping every statistic byte-identical to a
+// cycle-by-cycle run. See DESIGN.md §11 for the full contract.
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Cycle is a point in simulated time, measured in clock cycles from
 // machine reset (cycle 0 is the first executed cycle).
 type Cycle int64
+
+// Never is the forecast of a component that cannot act again without
+// new external input. It compares greater than every reachable cycle.
+const Never Cycle = math.MaxInt64
 
 // Ticker is a hardware component advanced once per simulated cycle.
 type Ticker interface {
@@ -37,16 +57,81 @@ type Idler interface {
 	Idle() bool
 }
 
+// Forecaster is the event-horizon protocol. A component implementing it
+// promises: if NextEvent(now) returns h, then Tick at every cycle in
+// [now, h) would change no externally visible state and no statistic —
+// except time-linear accounting declared via Skipper — provided the
+// component receives no new input before h. Since nothing ticks during
+// a skip, no new input can appear, which makes the promise sound.
+//
+// The contract in detail:
+//
+//   - now is the next cycle the engine would execute. Return now (or
+//     anything ≤ now) when the component may act immediately; return
+//     Never when it cannot act again without external input (a new
+//     message, a queue push, a shared gate flipping). Values below now
+//     are treated as now, so stale-but-conservative forecasts are safe.
+//   - The forecast must account for everything already buffered inside
+//     the component: a queued message, an in-flight pipe item, a timer
+//     such as a link busy-until or a config-done cycle.
+//   - It must never be optimistic. Forecasting h when the component
+//     would in fact act at some cycle < h silently corrupts the
+//     simulation; forecasting too early only wastes a tick.
+//   - The engine re-asks after every executed cycle, so a forecast only
+//     needs to be valid until the next event anywhere in the machine —
+//     reacting to another component's action is handled by that
+//     component bounding the horizon.
+//
+// Fast-forwarding engages only when every registered Ticker implements
+// Forecaster; a machine with one non-forecasting component simply runs
+// cycle by cycle, which keeps the protocol incrementally adoptable.
+type Forecaster interface {
+	// NextEvent returns the earliest cycle ≥ now at which the
+	// component's Tick could do anything beyond Skipper-declared
+	// time-linear accounting, or Never.
+	NextEvent(now Cycle) Cycle
+}
+
+// Skipper is implemented by Forecasters whose per-cycle effects during
+// event-free cycles are time-linear (busy-cycle counters, stall
+// attribution) and can therefore be applied in bulk. When the engine
+// fast-forwards from cycle from to cycle to, it calls Skip(from, to) in
+// registration order; the component must mutate its counters exactly as
+// to-from individual Ticks over [from, to) would have.
+type Skipper interface {
+	Skip(from, to Cycle)
+}
+
 // Engine drives a fixed set of components through simulated time.
 type Engine struct {
 	tickers []Ticker
-	idlers  []Idler
 	names   []string
-	now     Cycle
+	// idlers and idlerNames hold the Idler subset of tickers (resolved
+	// once at Register so quiescence scans and deadlock diagnostics
+	// never re-type-assert).
+	idlers     []Idler
+	idlerNames []string
+	// forecasters collects the Forecaster subset; fast-forwarding
+	// engages only when it covers every ticker.
+	forecasters []Forecaster
+	skippers    []Skipper
+	now         Cycle
 	// MaxCycles aborts a run that fails to quiesce; a safety net for
 	// model bugs (deadlocked credit loops and the like). Zero means the
 	// DefaultMaxCycles limit.
 	MaxCycles Cycle
+	// FastForward opts the run into event-horizon fast-forwarding. It
+	// has no effect unless every registered component implements
+	// Forecaster. Results are byte-identical either way; only wall
+	// time changes. Done predicates passed to Run must depend on
+	// component state only, never on Now() directly, since skipped
+	// cycles are not individually observed.
+	FastForward bool
+	// ExecutedCycles and SkippedCycles meter fast-forwarding: cycles
+	// individually ticked versus cycles jumped over. They never enter
+	// simulation results — purely wall-time diagnostics.
+	ExecutedCycles int64
+	SkippedCycles  int64
 }
 
 // DefaultMaxCycles bounds runs whose Engine.MaxCycles is unset.
@@ -57,12 +142,20 @@ func NewEngine() *Engine { return &Engine{} }
 
 // Register appends a component to the tick order. The name is used in
 // deadlock diagnostics. If the component implements Idler it also
-// participates in quiescence detection.
+// participates in quiescence detection; if it implements Forecaster it
+// participates in event-horizon fast-forwarding.
 func (e *Engine) Register(name string, t Ticker) {
 	e.tickers = append(e.tickers, t)
 	e.names = append(e.names, name)
 	if id, ok := t.(Idler); ok {
 		e.idlers = append(e.idlers, id)
+		e.idlerNames = append(e.idlerNames, name)
+	}
+	if f, ok := t.(Forecaster); ok {
+		e.forecasters = append(e.forecasters, f)
+	}
+	if s, ok := t.(Skipper); ok {
+		e.skippers = append(e.skippers, s)
 	}
 }
 
@@ -75,6 +168,7 @@ func (e *Engine) Step() {
 		t.Tick(e.now)
 	}
 	e.now++
+	e.ExecutedCycles++
 }
 
 // quiescent reports whether every Idler is idle.
@@ -87,15 +181,38 @@ func (e *Engine) quiescent() bool {
 	return true
 }
 
+// horizon returns the earliest cycle ≥ e.now at which any component may
+// act, or Never. It early-exits as soon as any component reports an
+// immediate event, bounding the scan cost on busy cycles.
+func (e *Engine) horizon() Cycle {
+	h := Never
+	for _, f := range e.forecasters {
+		ev := f.NextEvent(e.now)
+		if ev <= e.now {
+			return e.now
+		}
+		if ev < h {
+			h = ev
+		}
+	}
+	return h
+}
+
 // Run executes cycles until done() returns true and all components are
 // idle, returning the total executed cycles. done may be nil, in which
 // case only quiescence terminates the run. Run returns an error if the
 // cycle limit is exceeded, identifying the non-idle components.
+//
+// When FastForward is set and every component forecasts, Run skips
+// provably event-free stretches of cycles (see the package comment);
+// cycle counts, statistics, and termination are byte-identical to a
+// cycle-by-cycle run.
 func (e *Engine) Run(done func() bool) (Cycle, error) {
 	limit := e.MaxCycles
 	if limit <= 0 {
 		limit = DefaultMaxCycles
 	}
+	ff := e.FastForward && len(e.forecasters) == len(e.tickers)
 	for {
 		if (done == nil || done()) && e.quiescent() {
 			return e.now, nil
@@ -104,15 +221,41 @@ func (e *Engine) Run(done func() bool) (Cycle, error) {
 			return e.now, fmt.Errorf("sim: cycle limit %d exceeded; busy components: %v", limit, e.busyNames())
 		}
 		e.Step()
+		if !ff {
+			continue
+		}
+		h := e.horizon()
+		if h <= e.now {
+			continue
+		}
+		// The run may have completed on the cycle just executed; return
+		// before skipping so no idle tail is fabricated (time-linear
+		// counters would otherwise run past the true finish cycle).
+		if (done == nil || done()) && e.quiescent() {
+			return e.now, nil
+		}
+		if h > limit {
+			// Deadlock (or a horizon legitimately past the limit):
+			// jump to the limit so the next iteration reports it, with
+			// skipped-cycle accounting intact.
+			h = limit
+		}
+		if h > e.now {
+			for _, s := range e.skippers {
+				s.Skip(e.now, h)
+			}
+			e.SkippedCycles += int64(h - e.now)
+			e.now = h
+		}
 	}
 }
 
 // busyNames lists registered names of components that are not idle.
 func (e *Engine) busyNames() []string {
 	var busy []string
-	for i, t := range e.tickers {
-		if id, ok := t.(Idler); ok && !id.Idle() {
-			busy = append(busy, e.names[i])
+	for i, id := range e.idlers {
+		if !id.Idle() {
+			busy = append(busy, e.idlerNames[i])
 		}
 	}
 	return busy

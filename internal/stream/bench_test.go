@@ -1,0 +1,40 @@
+package stream
+
+import "testing"
+
+// BenchmarkAddressGeneration measures the stream-descriptor address and
+// span builders that run at every task dispatch.
+func BenchmarkAddressGeneration(b *testing.B) {
+	b.Run("linear", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			addrs := LinearAddrs(0x1000, 512)
+			if BuildSpans(addrs, 64) == nil {
+				b.Fatal("no spans")
+			}
+		}
+	})
+	b.Run("affine2d", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			addrs := Affine2DAddrs(0x1000, 16, 32, 128)
+			if BuildSpans(addrs, 64) == nil {
+				b.Fatal("no spans")
+			}
+		}
+	})
+	b.Run("gather", func(b *testing.B) {
+		idxs := make([]uint64, 512)
+		for i := range idxs {
+			idxs[i] = uint64(i*7) % 4096
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			addrs := GatherAddrs(0x1000, idxs)
+			if BuildGatherSpans(addrs, 64) == nil {
+				b.Fatal("no spans")
+			}
+		}
+	})
+}

@@ -33,6 +33,9 @@ const (
 	// SrcMulticast receives lines of a coordinator-managed shared-read
 	// group fetch (inter-task read sharing).
 	SrcMulticast
+	// NumSrcKinds counts the source kinds; dense per-kind counter
+	// arrays (lane stall attribution) are sized by it.
+	NumSrcKinds
 )
 
 // DstKind identifies where a write stream's elements go.

@@ -30,6 +30,12 @@ type Engine struct {
 	maxOut    int // per-context outstanding line requests
 	reqBudget int // request injections per cycle
 
+	// selfNode, laneNodes, and memNodes cache the Topology node lookups
+	// (O(nodes·channels) each) off the per-message path.
+	selfNode  int
+	laneNodes []int
+	memNodes  []int
+
 	// mcBuf buffers multicast line arrivals for groups whose consuming
 	// task has not yet programmed its port (the lane-level multicast
 	// fill buffer). Entries persist for the machine's lifetime; see
@@ -72,6 +78,15 @@ func NewEngine(lane int, cfg config.Config, topo proto.Topology, inj Injector, s
 		reqBudget: 4,
 		mcBuf:     make(map[uint64]map[int]bool),
 		ctxByID:   make(map[int]*readCtx),
+	}
+	e.selfNode = topo.LaneNode(lane)
+	e.laneNodes = make([]int, topo.Lanes)
+	for i := range e.laneNodes {
+		e.laneNodes[i] = topo.LaneNode(i)
+	}
+	e.memNodes = make([]int, topo.Channels)
+	for c := range e.memNodes {
+		e.memNodes[c] = topo.MemNode(c)
 	}
 	e.reads = make([]*readCtx, cfg.Fabric.NumPorts)
 	e.writes = make([]*writeCtx, cfg.Fabric.NumPorts)
@@ -375,6 +390,63 @@ func (e *Engine) Tick(now sim.Cycle) {
 	}
 }
 
+// NextEvent reports when the engine's own Tick can next act: now if any
+// read context (current or prefetched) can issue a request or any write
+// context can ship elements, Never otherwise. Arrivals are not engine
+// events — the NoC, DRAM channels, and scratchpad forecast them; a
+// gated forward port wakes when the consumer's lane flips the shared
+// gate, which happens on a cycle the consumer's own forecast keeps
+// executed.
+func (e *Engine) NextEvent(now sim.Cycle) sim.Cycle {
+	for _, c := range e.reads {
+		if e.readIssuable(c) {
+			return now
+		}
+	}
+	for _, c := range e.aheadCtxs {
+		if c != nil && e.readIssuable(c) {
+			return now
+		}
+	}
+	for _, c := range e.writes {
+		if e.writeIssuable(c) {
+			return now
+		}
+	}
+	return sim.Never
+}
+
+// readIssuable mirrors issueRead's issue conditions: true when the
+// context could inject at least one request this cycle given budget and
+// a willing network (backpressure retries keep the forecast at "now",
+// which is conservative and therefore sound).
+func (e *Engine) readIssuable(c *readCtx) bool {
+	switch c.kind {
+	case SrcDRAM:
+		if c.idxIssued < len(c.idxSpans) && c.idxOutst < e.maxOut {
+			return true
+		}
+		return c.issued < len(c.spans) && c.outst < e.maxOut &&
+			c.spans[c.issued].NeedIdx <= c.idxElems
+	case SrcSpad:
+		return c.spadIssued < c.n
+	}
+	return false
+}
+
+// writeIssuable mirrors issueWrite's shipping conditions.
+func (e *Engine) writeIssuable(c *writeCtx) bool {
+	switch c.kind {
+	case DstDiscard, DstSpad:
+		return c.pending > 0
+	case DstDRAM:
+		return c.shipped < len(c.spans) && c.pending >= c.spans[c.shipped].Elems
+	case DstForward:
+		return c.pending > 0 && (c.gate == nil || *c.gate)
+	}
+	return false
+}
+
 // issueRead issues requests for a read context, returning remaining
 // budget.
 func (e *Engine) issueRead(c *readCtx, budget int) int {
@@ -465,8 +537,8 @@ func (e *Engine) issueWrite(p, budget int) int {
 			}
 			msg := noc.Message{
 				Kind:  noc.KindForward,
-				Src:   e.topo.LaneNode(e.lane),
-				Dests: noc.DestMask(e.topo.LaneNode(c.consumerLane)),
+				Src:   e.selfNode,
+				Dests: noc.DestMask(e.laneNodes[c.consumerLane]),
 				Bytes: k * mem.ElemBytes,
 				Body:  proto.ForwardBody{Port: c.consumerPort, Count: k},
 			}
@@ -489,8 +561,8 @@ func (e *Engine) sendLineReq(line mem.Addr, write bool, port int, seq int64) boo
 	}
 	msg := noc.Message{
 		Kind:  noc.KindMemReq,
-		Src:   e.topo.LaneNode(e.lane),
-		Dests: noc.DestMask(e.topo.MemNode(chn)),
+		Src:   e.selfNode,
+		Dests: noc.DestMask(e.memNodes[chn]),
 		Bytes: bytes,
 		Body: proto.MemReqBody{
 			Line:  line,
