@@ -23,15 +23,19 @@ import (
 	"taskstream/internal/config"
 	"taskstream/internal/experiments"
 	"taskstream/internal/parallel"
+	"taskstream/internal/runplan"
 	"taskstream/internal/workload"
 )
 
 // benchExperiment runs one experiment per b.N iteration and publishes
-// its metrics.
+// its metrics. The shared run cache is dropped each iteration so every
+// iteration simulates — the benchmark times the experiment, not a
+// cache lookup.
 func benchExperiment(b *testing.B, fn func() (experiments.Result, error)) {
 	b.Helper()
 	var last experiments.Result
 	for i := 0; i < b.N; i++ {
+		runplan.Shared.Reset()
 		r, err := fn()
 		if err != nil {
 			b.Fatal(err)
@@ -106,12 +110,16 @@ func BenchmarkE14_Energy(b *testing.B) {
 
 // benchAll regenerates the entire E-suite once per iteration at the
 // given worker budget — the wall-clock number behind delta-bench -j.
+// The run cache is dropped between iterations (so each regenerates
+// from scratch) but live within one, exactly like a delta-bench
+// invocation: cross-experiment dedup is part of what this measures.
 func benchAll(b *testing.B, workers int) {
 	b.Helper()
 	old := experiments.Workers()
 	defer experiments.SetWorkers(old)
 	experiments.SetWorkers(workers)
 	for i := 0; i < b.N; i++ {
+		runplan.Shared.Reset()
 		if _, err := experiments.All(); err != nil {
 			b.Fatal(err)
 		}

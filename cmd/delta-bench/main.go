@@ -1,20 +1,27 @@
 // delta-bench regenerates every table and figure of the evaluation
 // (experiments E1–E14 in DESIGN.md) and prints them as aligned text
 // tables. Select a subset with -only; fan independent simulations out
-// across CPUs with -j. Tables always appear on stdout in experiment
-// order and are byte-identical at any -j (timing lines go to stderr),
-// so `delta-bench > bench_results.txt` is reproducible however the run
-// was parallelized.
+// across CPUs with -j; write machine-readable per-experiment metrics
+// with -json. Tables always appear on stdout in experiment order and
+// are byte-identical at any -j and with the run cache on or off
+// (timing and cache-counter lines go to stderr), so
+// `delta-bench > bench_results.txt` is reproducible however the run
+// was parallelized or memoized. Duplicate simulations across
+// experiments resolve through the shared run-plan cache
+// (internal/runplan, DESIGN.md §12); set TASKSTREAM_NO_RUNCACHE=1 to
+// force every spec to execute.
 //
 // Usage:
 //
 //	delta-bench            # everything, one simulation per CPU
 //	delta-bench -j 1       # strictly serial, today's single-core behavior
 //	delta-bench -only E3,E4
+//	delta-bench -json bench.json                 # also dump {id,title,metrics}
 //	delta-bench -only E6 -cpuprofile cpu.pprof   # profile the hot loop
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,10 +33,12 @@ import (
 
 	"taskstream/internal/experiments"
 	"taskstream/internal/parallel"
+	"taskstream/internal/runplan"
 )
 
 func main() {
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. E3,E10)")
+	jsonPath := flag.String("json", "", "write per-experiment {id, title, metrics} JSON to this file")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulations (1 = serial)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
@@ -99,7 +108,41 @@ func main() {
 	for _, r := range results {
 		fmt.Print(r.Render())
 	}
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, results); err != nil {
+			fmt.Fprintf(os.Stderr, "delta-bench: -json: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	cacheState := "on"
+	if runplan.Shared.Disabled() {
+		cacheState = "off"
+	}
+	fmt.Fprintf(os.Stderr, "[run cache %s: %s]\n", cacheState, runplan.Shared.Counters())
 	fmt.Fprintf(os.Stderr, "[all done in %v, -j %d]\n", time.Since(start).Round(time.Millisecond), *jobs)
+}
+
+// jsonResult is one experiment in the -json dump. Metrics marshal with
+// sorted keys (encoding/json's map behavior), so the file is
+// deterministic and diffable across runs — the BENCH_*.json perf
+// trajectory future PRs compare against.
+type jsonResult struct {
+	ID      string             `json:"id"`
+	Title   string             `json:"title"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// writeJSON dumps every result's headline metrics to path.
+func writeJSON(path string, results []experiments.Result) error {
+	out := make([]jsonResult, len(results))
+	for i, r := range results {
+		out[i] = jsonResult{ID: r.ID, Title: r.Title, Metrics: r.Metrics}
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
 // selectExperiments resolves the -only flag (comma-separated ids,

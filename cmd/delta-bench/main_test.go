@@ -1,8 +1,13 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"taskstream/internal/experiments"
 )
 
 // TestSelectExperiments pins -only resolution. The regression case:
@@ -37,5 +42,51 @@ func TestSelectExperiments(t *testing.T) {
 
 	if _, unknown := selectExperiments("E3,E99,bogus"); strings.Join(unknown, ",") != "BOGUS,E99" {
 		t.Errorf("unknown ids = %v, want [BOGUS E99]", unknown)
+	}
+}
+
+// TestWriteJSON pins the -json dump: one {id, title, metrics} object
+// per experiment, in experiment order, round-trippable, and
+// byte-deterministic (encoding/json sorts metric keys).
+func TestWriteJSON(t *testing.T) {
+	results := []experiments.Result{
+		{ID: "E1", Title: "First", Metrics: map[string]float64{"b": 2, "a": 1.5}},
+		{ID: "E2", Title: "Second", Metrics: map[string]float64{}},
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := writeJSON(path, results); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []jsonResult
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("dump does not parse: %v\n%s", err, raw)
+	}
+	if len(got) != 2 || got[0].ID != "E1" || got[1].ID != "E2" {
+		t.Fatalf("round-trip = %+v", got)
+	}
+	if got[0].Metrics["a"] != 1.5 || got[0].Metrics["b"] != 2 {
+		t.Fatalf("metrics lost: %+v", got[0].Metrics)
+	}
+	if !strings.HasSuffix(string(raw), "\n") {
+		t.Error("dump should end with a newline")
+	}
+	if a := strings.Index(string(raw), `"a"`); a > strings.Index(string(raw), `"b"`) {
+		t.Error("metric keys not sorted")
+	}
+	// Writing again must be byte-identical — the diffable-trajectory
+	// property BENCH_*.json files rely on.
+	if err := writeJSON(path, results); err != nil {
+		t.Fatal(err)
+	}
+	raw2, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != string(raw2) {
+		t.Error("writeJSON is not deterministic")
 	}
 }

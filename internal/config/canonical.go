@@ -1,0 +1,48 @@
+package config
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+)
+
+// Canonical returns a stable, content-addressable encoding of the
+// configuration: every field in declared order as "path=value"
+// segments. Two configs encode identically iff they are equal, so the
+// string can key caches (internal/runplan uses it to fingerprint run
+// specs). The walk is reflective over the struct in field-declaration
+// order — no maps, no pointers — so adding a field to Config (or any
+// nested struct) automatically lands in the encoding; a config_test
+// perturbation test pins that every field participates.
+func (c Config) Canonical() string {
+	var b strings.Builder
+	writeCanonical(&b, "", reflect.ValueOf(c))
+	return b.String()
+}
+
+// writeCanonical appends v's fields to b, prefixing nested struct
+// fields with their path (e.g. "DRAM.Channels").
+func writeCanonical(b *strings.Builder, prefix string, v reflect.Value) {
+	t := v.Type()
+	for i := 0; i < t.NumField(); i++ {
+		f, fv := t.Field(i), v.Field(i)
+		name := f.Name
+		if prefix != "" {
+			name = prefix + "." + name
+		}
+		switch fv.Kind() {
+		case reflect.Struct:
+			writeCanonical(b, name, fv)
+		case reflect.Bool:
+			fmt.Fprintf(b, "%s=%t;", name, fv.Bool())
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			fmt.Fprintf(b, "%s=%d;", name, fv.Int())
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			fmt.Fprintf(b, "%s=%d;", name, fv.Uint())
+		default:
+			// A field kind the encoding cannot canonicalize would
+			// silently alias distinct configs; fail loudly instead.
+			panic(fmt.Sprintf("config: Canonical cannot encode field %s of kind %s", name, fv.Kind()))
+		}
+	}
+}

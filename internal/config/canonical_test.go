@@ -1,0 +1,67 @@
+package config
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestCanonicalCoversEveryField perturbs each leaf field of Config via
+// reflection and demands the canonical encoding change — the property
+// that makes Canonical safe to use as a cache key: no field can be
+// added to Config without participating in run identity.
+func TestCanonicalCoversEveryField(t *testing.T) {
+	base := Default8().Canonical()
+	cfg := Default8()
+	var walk func(path string, v reflect.Value)
+	walk = func(path string, v reflect.Value) {
+		tt := v.Type()
+		for i := 0; i < tt.NumField(); i++ {
+			name := tt.Field(i).Name
+			if path != "" {
+				name = path + "." + name
+			}
+			f := v.Field(i)
+			switch f.Kind() {
+			case reflect.Struct:
+				walk(name, f)
+			case reflect.Bool:
+				old := f.Bool()
+				f.SetBool(!old)
+				if cfg.Canonical() == base {
+					t.Errorf("perturbing %s did not change Canonical()", name)
+				}
+				f.SetBool(old)
+			default:
+				old := f.Int()
+				f.SetInt(old + 1)
+				if cfg.Canonical() == base {
+					t.Errorf("perturbing %s did not change Canonical()", name)
+				}
+				f.SetInt(old)
+			}
+		}
+	}
+	walk("", reflect.ValueOf(&cfg).Elem())
+	if cfg.Canonical() != base {
+		t.Fatal("perturbation walk did not restore the config")
+	}
+}
+
+func TestCanonicalStableAndReadable(t *testing.T) {
+	a, b := Default8().Canonical(), Default8().Canonical()
+	if a != b {
+		t.Fatalf("Canonical not deterministic:\n%s\n%s", a, b)
+	}
+	for _, frag := range []string{"Lanes=8;", "DRAM.Channels=4;", "Task.EnableForwarding=true;", "Fabric.Rows=5;"} {
+		if !strings.Contains(a, frag) {
+			t.Errorf("Canonical() missing %q:\n%s", frag, a)
+		}
+	}
+	if Default8().WithLanes(16).Canonical() == a {
+		t.Error("WithLanes(16) encodes identically to the default")
+	}
+	if Default8().StaticModel().Canonical() == a {
+		t.Error("StaticModel encodes identically to the delta model")
+	}
+}

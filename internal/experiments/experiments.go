@@ -2,16 +2,20 @@
 // evaluation (DESIGN.md §5, E1–E14). Each experiment is a function
 // returning rendered tables plus machine-readable metrics; the
 // delta-bench command prints them and bench_test.go exposes them as
-// benchmarks. Independent simulations inside each experiment fan out
-// across the worker budget set with SetWorkers (default 1 = serial);
-// results are assembled in program order, so output is byte-identical
-// at any worker count. The experiment set is a reconstruction — see
-// the source-text caveat at the top of DESIGN.md.
+// benchmarks. Every simulation an experiment needs is expressed as a
+// declarative runplan.Spec and resolved through the shared memoizing
+// runner (DESIGN.md §12): independent specs fan out across the worker
+// budget set with SetWorkers (default 1 = serial), duplicate specs —
+// the full-suite pairs E3/E5/E9/E14 share, the default-config points
+// inside the E6/E8/E11/E13 sweeps — execute exactly once process-wide,
+// and results are assembled in program order, so output is
+// byte-identical at any worker count and with the run cache on or off.
+// The experiment set is a reconstruction — see the source-text caveat
+// at the top of DESIGN.md.
 package experiments
 
 import (
 	"fmt"
-	"math"
 	"strings"
 
 	"taskstream/internal/areamodel"
@@ -19,6 +23,7 @@ import (
 	"taskstream/internal/config"
 	"taskstream/internal/core"
 	"taskstream/internal/parallel"
+	"taskstream/internal/runplan"
 	"taskstream/internal/stats"
 	"taskstream/internal/workload"
 )
@@ -50,34 +55,63 @@ var IrregularNames = map[string]bool{
 	"spmv": true, "bfs": true, "join": true, "tri": true, "sort": true, "kmeans": true,
 }
 
-// run executes one workload build under a variant and verifies results.
-func run(nb workload.NamedBuilder, v baseline.Variant, cfg config.Config) (core.Report, error) {
-	w := nb.Build()
-	rep, err := baseline.Run(v, cfg, w.Prog, w.Storage)
-	if err != nil {
-		return core.Report{}, fmt.Errorf("%s/%v: %w", nb.Name, v, err)
-	}
-	if err := w.Verify(); err != nil {
-		return core.Report{}, fmt.Errorf("%s/%v: verification failed: %w", nb.Name, v, err)
-	}
-	return rep, nil
+// table accumulates rows into a stats.Table, latching the first
+// AddRow error (a row wider than the header would silently drop data)
+// so per-row call sites stay uncluttered. Every experiment routes its
+// row-building through this helper and surfaces the latched error from
+// build — no AddRow error in the package is dropped.
+type table struct {
+	t   *stats.Table
+	err error
 }
 
-// job defers one run() for the fan-out helpers.
-func job(nb workload.NamedBuilder, v baseline.Variant, cfg config.Config) func() (core.Report, error) {
-	return func() (core.Report, error) { return run(nb, v, cfg) }
+// newTable starts a checked table with the given title and headers.
+func newTable(title string, header ...string) *table {
+	return &table{t: stats.NewTable(title, header...)}
 }
 
-// suitePairs runs every workload in suite under both the static and
-// delta variants — the comparison most experiments need — fanning the
-// 2×len(suite) independent simulations across the worker budget.
-// static[i] and delta[i] correspond to suite[i].
-func suitePairs(suite []workload.NamedBuilder, cfg config.Config) (static, delta []core.Report, err error) {
-	jobs := make([]func() (core.Report, error), 0, 2*len(suite))
+// row appends one row, latching the first error.
+func (tb *table) row(cells ...string) {
+	if err := tb.t.AddRow(cells...); err != nil && tb.err == nil {
+		tb.err = err
+	}
+}
+
+// build returns the finished table, or the first row error.
+func (tb *table) build() (*stats.Table, error) { return tb.t, tb.err }
+
+// buildAll finishes several checked tables in order.
+func buildAll(tbs ...*table) ([]*stats.Table, error) {
+	out := make([]*stats.Table, len(tbs))
+	for i, tb := range tbs {
+		t, err := tb.build()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
+// pairSpecs declares the comparison most experiments need — every
+// workload in suite under both the static and delta variants — as
+// 2×len(suite) specs: static at 2i, delta at 2i+1.
+func pairSpecs(suite []workload.NamedBuilder, cfg config.Config) []runplan.Spec {
+	specs := make([]runplan.Spec, 0, 2*len(suite))
 	for _, nb := range suite {
-		jobs = append(jobs, job(nb, baseline.Static, cfg), job(nb, baseline.Delta, cfg))
+		specs = append(specs,
+			runplan.ForVariant(nb, baseline.Static, cfg),
+			runplan.ForVariant(nb, baseline.Delta, cfg))
 	}
-	reps, err := runJobs(jobs)
+	return specs
+}
+
+// suitePairs resolves pairSpecs through the shared runner; static[i]
+// and delta[i] correspond to suite[i]. Every caller (E3, E5, E9, E14)
+// describes the identical spec set, so the suite's pairs simulate once
+// no matter how many experiments ask.
+func suitePairs(suite []workload.NamedBuilder, cfg config.Config) (static, delta []core.Report, err error) {
+	reps, err := runSpecs(pairSpecs(suite, cfg))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -103,7 +137,7 @@ func geomean(what string, vals []float64) (float64, error) {
 // E1Characterization reproduces the workload-characterization table:
 // task counts, work-hint statistics, skew, and footprint.
 func E1Characterization() (Result, error) {
-	tb := stats.NewTable("E1: workload characterization",
+	tb := newTable("E1: workload characterization",
 		"workload", "tasks", "phases", "mean work", "max work", "CV", "footprint")
 	maxCV := 0.0
 	for _, nb := range workload.Suite() {
@@ -113,12 +147,16 @@ func E1Characterization() (Result, error) {
 		if cv > maxCV {
 			maxCV = cv
 		}
-		tb.AddRow(nb.Name, stats.I(int64(h.Count())), stats.I(int64(w.Prog.NumPhases)),
+		tb.row(nb.Name, stats.I(int64(h.Count())), stats.I(int64(w.Prog.NumPhases)),
 			stats.F(h.Mean()), stats.I(h.Max()), stats.F(cv), stats.Bytes(w.BytesTouched))
+	}
+	t, err := tb.build()
+	if err != nil {
+		return Result{}, err
 	}
 	return Result{
 		ID: "E1", Title: "Workload characterization",
-		Tables:  []*stats.Table{tb},
+		Tables:  []*stats.Table{t},
 		Metrics: map[string]float64{"max_cv": maxCV},
 	}, nil
 }
@@ -126,7 +164,7 @@ func E1Characterization() (Result, error) {
 // E2Configuration reproduces the architecture-parameter table.
 func E2Configuration() (Result, error) {
 	cfg := config.Default8()
-	tb := stats.NewTable("E2: machine configuration", "parameter", "value")
+	tb := newTable("E2: machine configuration", "parameter", "value")
 	rows := []struct {
 		k, v string
 	}{
@@ -142,10 +180,14 @@ func E2Configuration() (Result, error) {
 		{"coalesce window", fmt.Sprintf("%d cycles", cfg.Task.CoalesceWindowCycles)},
 	}
 	for _, r := range rows {
-		tb.AddRow(r.k, r.v)
+		tb.row(r.k, r.v)
+	}
+	t, err := tb.build()
+	if err != nil {
+		return Result{}, err
 	}
 	return Result{ID: "E2", Title: "Machine configuration",
-		Tables: []*stats.Table{tb}, Metrics: map[string]float64{}}, nil
+		Tables: []*stats.Table{t}, Metrics: map[string]float64{}}, nil
 }
 
 // E3Speedup reproduces the headline figure: Delta vs the equivalent
@@ -157,7 +199,7 @@ func E3Speedup() (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	tb := stats.NewTable("E3: Delta speedup over static-parallel (8 lanes)",
+	tb := newTable("E3: Delta speedup over static-parallel (8 lanes)",
 		"workload", "static cyc", "delta cyc", "speedup")
 	var all, irr []float64
 	for i, nb := range suite {
@@ -166,7 +208,7 @@ func E3Speedup() (Result, error) {
 		if IrregularNames[nb.Name] {
 			irr = append(irr, sp)
 		}
-		tb.AddRow(nb.Name, stats.I(static[i].Cycles), stats.I(delta[i].Cycles), stats.Fx(sp))
+		tb.row(nb.Name, stats.I(static[i].Cycles), stats.I(delta[i].Cycles), stats.Fx(sp))
 	}
 	gAll, err := geomean("E3 speedup", all)
 	if err != nil {
@@ -176,10 +218,14 @@ func E3Speedup() (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	tb.AddRow("geomean", "", "", stats.Fx(gAll))
-	tb.AddRow("geomean (irregular)", "", "", stats.Fx(gIrr))
+	tb.row("geomean", "", "", stats.Fx(gAll))
+	tb.row("geomean (irregular)", "", "", stats.Fx(gIrr))
+	t, err := tb.build()
+	if err != nil {
+		return Result{}, err
+	}
 	return Result{ID: "E3", Title: "Headline speedup",
-		Tables: []*stats.Table{tb},
+		Tables: []*stats.Table{t},
 		Metrics: map[string]float64{
 			"geomean_speedup":           gAll,
 			"geomean_irregular_speedup": gIrr,
@@ -187,22 +233,24 @@ func E3Speedup() (Result, error) {
 }
 
 // E4Ablation stages the mechanisms: static → dyn-rr → +lb → +lb+mc →
-// delta, reporting speedup over static per workload.
+// delta, reporting speedup over static per workload. Its Static and
+// Delta columns are the same specs as the E3/E5/E9/E14 suite pairs, so
+// only the three intermediate variants simulate anew here.
 func E4Ablation() (Result, error) {
 	cfg := config.Default8()
 	suite := workload.Suite()
 	const nv = int(baseline.NumVariants)
-	jobs := make([]func() (core.Report, error), 0, nv*len(suite))
+	specs := make([]runplan.Spec, 0, nv*len(suite))
 	for _, nb := range suite {
 		for v := baseline.Static; v < baseline.NumVariants; v++ {
-			jobs = append(jobs, job(nb, v, cfg))
+			specs = append(specs, runplan.ForVariant(nb, v, cfg))
 		}
 	}
-	reps, err := runJobs(jobs)
+	reps, err := runSpecs(specs)
 	if err != nil {
 		return Result{}, err
 	}
-	tb := stats.NewTable("E4: mechanism ablation (speedup over static)",
+	tb := newTable("E4: mechanism ablation (speedup over static)",
 		"workload", "dyn-rr", "+lb", "+lb+mc", "delta")
 	metrics := map[string]float64{}
 	var deltaSpeedups []float64
@@ -218,17 +266,19 @@ func E4Ablation() (Result, error) {
 				metrics["delta_"+nb.Name] = sp
 			}
 		}
-		if err := tb.AddRow(row...); err != nil {
-			return Result{}, err
-		}
+		tb.row(row...)
 	}
 	g, err := geomean("E4 delta speedup", deltaSpeedups)
 	if err != nil {
 		return Result{}, err
 	}
 	metrics["geomean_delta"] = g
+	t, err := tb.build()
+	if err != nil {
+		return Result{}, err
+	}
 	return Result{ID: "E4", Title: "Mechanism ablation",
-		Tables: []*stats.Table{tb}, Metrics: metrics}, nil
+		Tables: []*stats.Table{t}, Metrics: metrics}, nil
 }
 
 // E5Imbalance reproduces the load-balance evidence: max/mean busy
@@ -240,17 +290,21 @@ func E5Imbalance() (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	tb := stats.NewTable("E5: load imbalance (max/mean lane busy cycles)",
+	tb := newTable("E5: load imbalance (max/mean lane busy cycles)",
 		"workload", "static", "delta")
 	metrics := map[string]float64{}
 	for i, nb := range suite {
 		si, di := stats.Imbalance(static[i].LaneBusy), stats.Imbalance(delta[i].LaneBusy)
-		tb.AddRow(nb.Name, stats.F(si), stats.F(di))
+		tb.row(nb.Name, stats.F(si), stats.F(di))
 		metrics["static_"+nb.Name] = si
 		metrics["delta_"+nb.Name] = di
 	}
+	t, err := tb.build()
+	if err != nil {
+		return Result{}, err
+	}
 	return Result{ID: "E5", Title: "Load imbalance",
-		Tables: []*stats.Table{tb}, Metrics: metrics}, nil
+		Tables: []*stats.Table{t}, Metrics: metrics}, nil
 }
 
 // ScalingLanes is the lane sweep of E6.
@@ -266,103 +320,127 @@ func scalingSubset() []workload.NamedBuilder {
 	return out
 }
 
-// E6Scaling sweeps lane count.
+// E6Scaling sweeps lane count. Its 8-lane points are the default
+// config, so they dedup against the suite pairs.
 func E6Scaling() (Result, error) {
 	subset := scalingSubset()
-	jobs := make([]func() (core.Report, error), 0, 2*len(subset)*len(ScalingLanes))
+	specs := make([]runplan.Spec, 0, 2*len(subset)*len(ScalingLanes))
 	for _, nb := range subset {
 		for _, lanes := range ScalingLanes {
 			cfg := config.Default8().WithLanes(lanes)
-			jobs = append(jobs, job(nb, baseline.Static, cfg), job(nb, baseline.Delta, cfg))
+			specs = append(specs,
+				runplan.ForVariant(nb, baseline.Static, cfg),
+				runplan.ForVariant(nb, baseline.Delta, cfg))
 		}
 	}
-	reps, err := runJobs(jobs)
+	reps, err := runSpecs(specs)
 	if err != nil {
 		return Result{}, err
 	}
-	var tables []*stats.Table
+	var tables []*table
 	metrics := map[string]float64{}
 	i := 0
 	for _, nb := range subset {
-		tb := stats.NewTable(fmt.Sprintf("E6: lane scaling — %s", nb.Name),
+		tb := newTable(fmt.Sprintf("E6: lane scaling — %s", nb.Name),
 			"lanes", "static cyc", "delta cyc", "speedup")
 		for _, lanes := range ScalingLanes {
 			s, d := reps[i], reps[i+1]
 			i += 2
 			sp := stats.Speedup(s.Cycles, d.Cycles)
-			tb.AddRow(stats.I(int64(lanes)), stats.I(s.Cycles), stats.I(d.Cycles), stats.Fx(sp))
+			tb.row(stats.I(int64(lanes)), stats.I(s.Cycles), stats.I(d.Cycles), stats.Fx(sp))
 			metrics[fmt.Sprintf("%s_lanes%d", nb.Name, lanes)] = sp
 		}
 		tables = append(tables, tb)
 	}
-	return Result{ID: "E6", Title: "Lane scaling", Tables: tables, Metrics: metrics}, nil
+	ts, err := buildAll(tables...)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{ID: "E6", Title: "Lane scaling", Tables: ts, Metrics: metrics}, nil
 }
 
-// E7Granularity sweeps spmv task granularity (rows per task).
+// E7Granularity sweeps spmv task granularity (rows per task). Each
+// grain is a distinct workload, so its name encodes the parameter —
+// the spec-identity contract for parameterized builders.
 func E7Granularity() (Result, error) {
 	cfg := config.Default8()
 	grains := []int{8, 16, 32, 64, 128, 256}
-	jobs := make([]func() (core.Report, error), 0, 2*len(grains))
+	specs := make([]runplan.Spec, 0, 2*len(grains))
 	for _, grain := range grains {
 		p := workload.DefaultSpMV()
 		p.RowsPerTask = grain
 		nb := workload.NamedBuilder{Name: fmt.Sprintf("spmv-g%d", grain),
 			Build: func() *workload.Workload { return workload.SpMV(p) }}
-		jobs = append(jobs, job(nb, baseline.Static, cfg), job(nb, baseline.Delta, cfg))
+		specs = append(specs,
+			runplan.ForVariant(nb, baseline.Static, cfg),
+			runplan.ForVariant(nb, baseline.Delta, cfg))
 	}
-	reps, err := runJobs(jobs)
+	reps, err := runSpecs(specs)
 	if err != nil {
 		return Result{}, err
 	}
-	tb := stats.NewTable("E7: task granularity — spmv rows/task",
+	tb := newTable("E7: task granularity — spmv rows/task",
 		"rows/task", "tasks", "static cyc", "delta cyc", "speedup")
 	metrics := map[string]float64{}
 	for i, grain := range grains {
 		s, d := reps[2*i], reps[2*i+1]
 		sp := stats.Speedup(s.Cycles, d.Cycles)
-		tb.AddRow(stats.I(int64(grain)), stats.I(s.Stats.Get("tasks_run")),
+		tb.row(stats.I(int64(grain)), stats.I(s.Stats.Get("tasks_run")),
 			stats.I(s.Cycles), stats.I(d.Cycles), stats.Fx(sp))
 		metrics[fmt.Sprintf("grain%d", grain)] = sp
 	}
-	return Result{ID: "E7", Title: "Task granularity", Tables: []*stats.Table{tb}, Metrics: metrics}, nil
+	t, err := tb.build()
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{ID: "E7", Title: "Task granularity", Tables: []*stats.Table{t}, Metrics: metrics}, nil
 }
 
-// E8Bandwidth sweeps memory bandwidth (channel count).
+// E8Bandwidth sweeps memory bandwidth (channel count); the 4-channel
+// points are the default config and dedup against the suite pairs.
 func E8Bandwidth() (Result, error) {
 	subset := scalingSubset()
 	channels := []int{1, 2, 4, 8}
-	jobs := make([]func() (core.Report, error), 0, 2*len(subset)*len(channels))
+	specs := make([]runplan.Spec, 0, 2*len(subset)*len(channels))
 	for _, nb := range subset {
 		for _, ch := range channels {
 			cfg := config.Default8()
 			cfg.DRAM.Channels = ch
-			jobs = append(jobs, job(nb, baseline.Static, cfg), job(nb, baseline.Delta, cfg))
+			specs = append(specs,
+				runplan.ForVariant(nb, baseline.Static, cfg),
+				runplan.ForVariant(nb, baseline.Delta, cfg))
 		}
 	}
-	reps, err := runJobs(jobs)
+	reps, err := runSpecs(specs)
 	if err != nil {
 		return Result{}, err
 	}
-	var tables []*stats.Table
+	var tables []*table
 	metrics := map[string]float64{}
 	i := 0
 	for _, nb := range subset {
-		tb := stats.NewTable(fmt.Sprintf("E8: DRAM bandwidth — %s", nb.Name),
+		tb := newTable(fmt.Sprintf("E8: DRAM bandwidth — %s", nb.Name),
 			"channels", "static cyc", "delta cyc", "speedup")
 		for _, ch := range channels {
 			s, d := reps[i], reps[i+1]
 			i += 2
 			sp := stats.Speedup(s.Cycles, d.Cycles)
-			tb.AddRow(stats.I(int64(ch)), stats.I(s.Cycles), stats.I(d.Cycles), stats.Fx(sp))
+			tb.row(stats.I(int64(ch)), stats.I(s.Cycles), stats.I(d.Cycles), stats.Fx(sp))
 			metrics[fmt.Sprintf("%s_ch%d", nb.Name, ch)] = sp
 		}
 		tables = append(tables, tb)
 	}
-	return Result{ID: "E8", Title: "Bandwidth sensitivity", Tables: tables, Metrics: metrics}, nil
+	ts, err := buildAll(tables...)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{ID: "E8", Title: "Bandwidth sensitivity", Tables: ts, Metrics: metrics}, nil
 }
 
 // E9Traffic reproduces the data-movement comparison: DRAM bytes and
-// NoC flit-cycles, delta normalized to static.
+// NoC flit-cycles, delta normalized to static. A zero static counter
+// makes the normalization undefined; the cell renders "n/a" and the
+// metric is omitted rather than reporting +Inf.
 func E9Traffic() (Result, error) {
 	cfg := config.Default8()
 	suite := workload.Suite()
@@ -370,24 +448,34 @@ func E9Traffic() (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	tb := stats.NewTable("E9: traffic, delta normalized to static",
+	tb := newTable("E9: traffic, delta normalized to static",
 		"workload", "DRAM bytes", "NoC flit-cycles", "fwd elems", "mcast lines saved")
 	metrics := map[string]float64{}
 	for i, nb := range suite {
 		s, d := static[i], delta[i]
-		dr := ratio(d.Stats.Get("dram_bytes"), s.Stats.Get("dram_bytes"))
-		nr := ratio(d.Stats.Get("noc_flit_cycles"), s.Stats.Get("noc_flit_cycles"))
-		tb.AddRow(nb.Name, stats.Pct(dr), stats.Pct(nr),
+		drCell := "n/a"
+		if dr, ok := ratio(d.Stats.Get("dram_bytes"), s.Stats.Get("dram_bytes")); ok {
+			drCell = stats.Pct(dr)
+			metrics["dram_"+nb.Name] = dr
+		}
+		nrCell := "n/a"
+		if nr, ok := ratio(d.Stats.Get("noc_flit_cycles"), s.Stats.Get("noc_flit_cycles")); ok {
+			nrCell = stats.Pct(nr)
+		}
+		tb.row(nb.Name, drCell, nrCell,
 			stats.I(d.Stats.Get("fwd_elems")), stats.I(d.Stats.Get("mcast_lines_saved")))
-		metrics["dram_"+nb.Name] = dr
 	}
-	return Result{ID: "E9", Title: "Traffic", Tables: []*stats.Table{tb}, Metrics: metrics}, nil
+	t, err := tb.build()
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{ID: "E9", Title: "Traffic", Tables: []*stats.Table{t}, Metrics: metrics}, nil
 }
 
 // E10Area reproduces the hardware-overhead analysis.
 func E10Area() (Result, error) {
 	m := areamodel.New(config.Default8())
-	tb := stats.NewTable("E10: area model (mm², 28nm-class estimates)",
+	tb := newTable("E10: area model (mm², 28nm-class estimates)",
 		"component", "class", "area", "per lane")
 	for _, c := range m.Components {
 		class := "baseline"
@@ -398,15 +486,19 @@ func E10Area() (Result, error) {
 		if c.PerLane {
 			per = "x" + stats.I(int64(config.Default8().Lanes))
 		}
-		tb.AddRow(c.Name, class, fmt.Sprintf("%.4f", c.Area), per)
+		tb.row(c.Name, class, fmt.Sprintf("%.4f", c.Area), per)
 	}
 	base, added, total := m.Totals()
-	tb.AddRow("baseline total", "", fmt.Sprintf("%.4f", base), "")
-	tb.AddRow("taskstream added", "", fmt.Sprintf("%.4f", added), "")
-	tb.AddRow("machine total", "", fmt.Sprintf("%.4f", total), "")
-	tb.AddRow("overhead", "", stats.Pct(m.OverheadFraction()), "")
+	tb.row("baseline total", "", fmt.Sprintf("%.4f", base), "")
+	tb.row("taskstream added", "", fmt.Sprintf("%.4f", added), "")
+	tb.row("machine total", "", fmt.Sprintf("%.4f", total), "")
+	tb.row("overhead", "", stats.Pct(m.OverheadFraction()), "")
+	t, err := tb.build()
+	if err != nil {
+		return Result{}, err
+	}
 	return Result{ID: "E10", Title: "Area overhead",
-		Tables: []*stats.Table{tb},
+		Tables: []*stats.Table{t},
 		Metrics: map[string]float64{
 			"overhead_fraction": m.OverheadFraction(),
 			"total_area_mm2":    total,
@@ -414,71 +506,67 @@ func E10Area() (Result, error) {
 }
 
 // E11Window sweeps the multicast coalescing window on the two
-// sharing-heavy workloads.
+// sharing-heavy workloads; the default-window points dedup against the
+// suite's delta runs.
 func E11Window() (Result, error) {
 	names := []string{"gemm", "kmeans"}
 	windows := []int{0, 8, 32, 128, 512}
-	jobs := make([]func() (core.Report, error), 0, len(names)*len(windows))
+	specs := make([]runplan.Spec, 0, len(names)*len(windows))
 	for _, name := range names {
 		nb := *workload.ByName(name)
 		for _, win := range windows {
 			cfg := config.Default8()
 			cfg.Task.CoalesceWindowCycles = win
-			jobs = append(jobs, job(nb, baseline.Delta, cfg))
+			specs = append(specs, runplan.ForVariant(nb, baseline.Delta, cfg))
 		}
 	}
-	reps, err := runJobs(jobs)
+	reps, err := runSpecs(specs)
 	if err != nil {
 		return Result{}, err
 	}
-	var tables []*stats.Table
+	var tables []*table
 	metrics := map[string]float64{}
 	i := 0
 	for _, name := range names {
-		tb := stats.NewTable(fmt.Sprintf("E11: coalescing window — %s", name),
+		tb := newTable(fmt.Sprintf("E11: coalescing window — %s", name),
 			"window", "cycles", "mcast joins", "lines saved")
 		for _, win := range windows {
 			r := reps[i]
 			i++
-			tb.AddRow(stats.I(int64(win)), stats.I(r.Cycles),
+			tb.row(stats.I(int64(win)), stats.I(r.Cycles),
 				stats.I(r.Stats.Get("mcast_joins")), stats.I(r.Stats.Get("mcast_lines_saved")))
 			metrics[fmt.Sprintf("%s_win%d", name, win)] = float64(r.Cycles)
 		}
 		tables = append(tables, tb)
 	}
-	return Result{ID: "E11", Title: "Coalescing window", Tables: tables, Metrics: metrics}, nil
+	ts, err := buildAll(tables...)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{ID: "E11", Title: "Coalescing window", Tables: ts, Metrics: metrics}, nil
 }
 
 // E12Hints compares work-hint fidelity: exact vs noisy vs none, on the
-// skew-dominated workloads.
+// skew-dominated workloads. The exact-hint points are the delta
+// variant's defaults and dedup against the suite pairs.
 func E12Hints() (Result, error) {
 	cfg, opts := baseline.Delta.Configure(config.Default8())
 	names := []string{"spmv", "tri", "join"}
 	hints := []core.HintMode{core.HintExact, core.HintNoisy, core.HintNone}
-	jobs := make([]func() (core.Report, error), 0, len(names)*len(hints))
+	specs := make([]runplan.Spec, 0, len(names)*len(hints))
 	for _, name := range names {
-		nb := workload.ByName(name)
+		nb := *workload.ByName(name)
 		for _, h := range hints {
 			o := opts
 			o.Hints = h
-			jobs = append(jobs, func() (core.Report, error) {
-				w := nb.Build()
-				rep, err := baseline.RunCfg(cfg, o, w.Prog, w.Storage)
-				if err != nil {
-					return core.Report{}, err
-				}
-				if err := w.Verify(); err != nil {
-					return core.Report{}, err
-				}
-				return rep, nil
-			})
+			specs = append(specs, runplan.Spec{Workload: nb, Config: cfg, Opts: o})
 		}
 	}
-	reps, err := runJobs(jobs)
+	reps, err := runSpecs(specs)
 	if err != nil {
 		return Result{}, err
 	}
-	tb := stats.NewTable("E12: work-hint fidelity (delta cycles)",
+	tb := newTable("E12: work-hint fidelity (delta cycles)",
 		"workload", "exact", "noisy", "none")
 	metrics := map[string]float64{}
 	i := 0
@@ -490,11 +578,13 @@ func E12Hints() (Result, error) {
 			row = append(row, stats.I(rep.Cycles))
 			metrics[fmt.Sprintf("%s_h%d", name, h)] = float64(rep.Cycles)
 		}
-		if err := tb.AddRow(row...); err != nil {
-			return Result{}, err
-		}
+		tb.row(row...)
 	}
-	return Result{ID: "E12", Title: "Hint fidelity", Tables: []*stats.Table{tb}, Metrics: metrics}, nil
+	t, err := tb.build()
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{ID: "E12", Title: "Hint fidelity", Tables: []*stats.Table{t}, Metrics: metrics}, nil
 }
 
 // Named pairs an experiment id with its function.
@@ -543,10 +633,11 @@ func All() ([]Result, error) {
 	})
 }
 
-// ratio returns a/b guarding zero, rounding tiny negatives away.
-func ratio(a, b int64) float64 {
+// ratio returns a/b and whether it is defined; b == 0 yields ok=false
+// so callers render "n/a" instead of +Inf.
+func ratio(a, b int64) (v float64, ok bool) {
 	if b == 0 {
-		return math.Inf(1)
+		return 0, false
 	}
-	return float64(a) / float64(b)
+	return float64(a) / float64(b), true
 }

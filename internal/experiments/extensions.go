@@ -6,7 +6,7 @@ import (
 	"taskstream/internal/areamodel"
 	"taskstream/internal/baseline"
 	"taskstream/internal/config"
-	"taskstream/internal/core"
+	"taskstream/internal/runplan"
 	"taskstream/internal/stats"
 	"taskstream/internal/workload"
 )
@@ -15,12 +15,13 @@ import (
 // deep should the per-lane hardware task queue be, and how much does
 // next-task stream prefetch matter? Deep queues commit dispatch
 // decisions early (hurting work-aware balance); depth 1 exposes task
-// startup latency; prefetch hides it.
+// startup latency; prefetch hides it. The default depth-2/prefetch
+// points dedup against the suite's delta runs.
 func E13QueueDepth() (Result, error) {
 	names := []string{"spmv", "bfs"}
 	depths := []int{1, 2, 4, 8, 16}
 	prefetch := []bool{false, true} // disable-prefetch flag values
-	jobs := make([]func() (core.Report, error), 0, len(names)*len(depths)*len(prefetch))
+	specs := make([]runplan.Spec, 0, len(names)*len(depths)*len(prefetch))
 	for _, name := range names {
 		nb := *workload.ByName(name)
 		for _, depth := range depths {
@@ -28,19 +29,19 @@ func E13QueueDepth() (Result, error) {
 				cfg := config.Default8()
 				cfg.Task.QueueDepth = depth
 				cfg.Task.DisablePrefetch = noPf
-				jobs = append(jobs, job(nb, baseline.Delta, cfg))
+				specs = append(specs, runplan.ForVariant(nb, baseline.Delta, cfg))
 			}
 		}
 	}
-	reps, err := runJobs(jobs)
+	reps, err := runSpecs(specs)
 	if err != nil {
 		return Result{}, err
 	}
-	var tables []*stats.Table
+	var tables []*table
 	metrics := map[string]float64{}
 	i := 0
 	for _, name := range names {
-		tb := stats.NewTable(fmt.Sprintf("E13: task queue depth & prefetch — %s (delta cycles)", name),
+		tb := newTable(fmt.Sprintf("E13: task queue depth & prefetch — %s (delta cycles)", name),
 			"queue depth", "prefetch", "no prefetch")
 		for _, depth := range depths {
 			row := []string{stats.I(int64(depth))}
@@ -50,14 +51,16 @@ func E13QueueDepth() (Result, error) {
 				row = append(row, stats.I(r.Cycles))
 				metrics[fmt.Sprintf("%s_d%d_pf%v", name, depth, !noPf)] = float64(r.Cycles)
 			}
-			if err := tb.AddRow(row...); err != nil {
-				return Result{}, err
-			}
+			tb.row(row...)
 		}
 		tables = append(tables, tb)
 	}
+	ts, err := buildAll(tables...)
+	if err != nil {
+		return Result{}, err
+	}
 	return Result{ID: "E13", Title: "Queue depth & prefetch ablation",
-		Tables: tables, Metrics: metrics}, nil
+		Tables: ts, Metrics: metrics}, nil
 }
 
 // E14Energy prices each suite run's data movement and compute with the
@@ -71,7 +74,7 @@ func E14Energy() (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	tb := stats.NewTable("E14: energy (µJ, modeled)",
+	tb := newTable("E14: energy (µJ, modeled)",
 		"workload", "static", "delta", "ratio", "delta DRAM share")
 	metrics := map[string]float64{}
 	var ratios []float64
@@ -80,7 +83,7 @@ func E14Energy() (Result, error) {
 		ed := areamodel.EnergyOf(delta[i].Stats)
 		ratio := ed.Total() / es.Total()
 		ratios = append(ratios, ratio)
-		tb.AddRow(nb.Name,
+		tb.row(nb.Name,
 			stats.F(es.Total()/1e6), stats.F(ed.Total()/1e6),
 			stats.Pct(ratio), stats.Pct(ed.DRAM/ed.Total()))
 		metrics["ratio_"+nb.Name] = ratio
@@ -90,6 +93,10 @@ func E14Energy() (Result, error) {
 		return Result{}, err
 	}
 	metrics["geomean_ratio"] = g
+	t, err := tb.build()
+	if err != nil {
+		return Result{}, err
+	}
 	return Result{ID: "E14", Title: "Energy",
-		Tables: []*stats.Table{tb}, Metrics: metrics}, nil
+		Tables: []*stats.Table{t}, Metrics: metrics}, nil
 }

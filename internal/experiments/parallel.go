@@ -5,6 +5,7 @@ import (
 
 	"taskstream/internal/core"
 	"taskstream/internal/parallel"
+	"taskstream/internal/runplan"
 )
 
 // The harness shares one simulation worker budget across every
@@ -40,9 +41,14 @@ func limiter() *parallel.Limiter {
 	return simLim
 }
 
-// runJobs executes independent simulation jobs under the shared worker
-// budget, returning results in job order.
-func runJobs(jobs []func() (core.Report, error)) ([]core.Report, error) {
-	return parallel.MapLimited(limiter(), jobs,
-		func(_ int, job func() (core.Report, error)) (core.Report, error) { return job() })
+// runSpecs resolves independent run specs through the shared memoizing
+// runner under the worker budget, returning reports in spec order —
+// the in-order assembly that keeps rendered tables byte-identical at
+// any worker count. Duplicate specs (within one call or across
+// concurrently running experiments) execute once: later requests are
+// cache hits, and concurrent ones wait on the in-flight run rather
+// than occupying a second simulation slot with identical work.
+func runSpecs(specs []runplan.Spec) ([]core.Report, error) {
+	return parallel.MapLimited(limiter(), specs,
+		func(_ int, s runplan.Spec) (core.Report, error) { return runplan.Shared.Run(s) })
 }

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"taskstream/internal/parallel"
+	"taskstream/internal/runplan"
 )
 
 // renderDeterministic renders every result the way delta-bench prints
@@ -62,11 +63,18 @@ func subset(regs []Named, ids ...string) []Named {
 }
 
 // checkEquality runs the experiments serially and at 4 workers and
-// fails unless the fingerprints match byte for byte.
+// fails unless the fingerprints match byte for byte. The run cache is
+// disabled for both passes: this test's contract is that concurrent
+// *simulation* is deterministic, so the parallel pass must genuinely
+// re-execute every run rather than replay the serial pass's cache
+// (cache-on equivalence is TestRunCacheOnOffEquality's job).
 func checkEquality(t *testing.T, regs []Named) {
 	t.Helper()
 	old := Workers()
 	defer SetWorkers(old)
+	wasDisabled := runplan.Shared.Disabled()
+	runplan.Shared.SetDisabled(true)
+	defer runplan.Shared.SetDisabled(wasDisabled)
 	serial := runSuite(t, 1, regs)
 	par := runSuite(t, 4, regs)
 	if serial != par {

@@ -1,0 +1,187 @@
+// Package runplan makes one simulation a declarative, comparable
+// value. A Spec names everything that determines a run's result —
+// which workload to build, the machine configuration, and the
+// execution-model options — and canonically fingerprints it, so two
+// experiments that describe the same simulation describe *equal*
+// specs. The memoizing Runner exploits that: each distinct spec
+// executes at most once process-wide, concurrent requests for an
+// in-flight spec wait on it instead of duplicating it (single-flight),
+// and every caller receives a deep copy of the cached report so no
+// experiment can mutate another's input. The experiment harness
+// resolves all of its runs through the shared Runner, which is what
+// eliminates the suite's duplicated full-suite sweeps (DESIGN.md §12).
+package runplan
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"taskstream/internal/baseline"
+	"taskstream/internal/config"
+	"taskstream/internal/core"
+	"taskstream/internal/workload"
+)
+
+// Spec declares one simulation: build Workload fresh, wire a machine
+// from Config and Opts, run it, verify the results. The workload's
+// Name is part of the spec's identity, so it must canonically
+// determine what Build constructs — two builders may share a name only
+// if they build equivalent workloads (the suite's parameterized
+// builders, e.g. "spmv-g64", encode their parameters in the name).
+type Spec struct {
+	Workload workload.NamedBuilder
+	Config   config.Config
+	Opts     core.Options
+}
+
+// ForVariant is the common constructor: the spec realizing one
+// baseline variant of a workload on the given datapath, exactly as
+// baseline.Run would configure it.
+func ForVariant(nb workload.NamedBuilder, v baseline.Variant, cfg config.Config) Spec {
+	mcfg, opts := v.Configure(cfg)
+	return Spec{Workload: nb, Config: mcfg, Opts: opts}
+}
+
+// Key returns the spec's content address: workload name plus the
+// canonical encodings of config and normalized options. No maps are
+// ranged anywhere on this path, so the key is stable across processes
+// and runs.
+func (s Spec) Key() string {
+	return s.Workload.Name + "|" + s.Config.Canonical() + "|" + s.Opts.CacheKey()
+}
+
+// Cacheable reports whether the spec may be memoized; traced runs
+// (Opts.Trace != nil) have an observable side channel and always
+// execute fresh.
+func (s Spec) Cacheable() bool { return s.Opts.Cacheable() }
+
+// execute runs the spec from scratch and verifies the workload's
+// results — the uncached path every cache entry is filled from.
+func (s Spec) execute() (core.Report, error) {
+	w := s.Workload.Build()
+	rep, err := baseline.RunCfg(s.Config, s.Opts, w.Prog, w.Storage)
+	if err != nil {
+		return core.Report{}, fmt.Errorf("%s: %w", s.Workload.Name, err)
+	}
+	if err := w.Verify(); err != nil {
+		return core.Report{}, fmt.Errorf("%s: verification failed: %w", s.Workload.Name, err)
+	}
+	return rep, nil
+}
+
+// Counters is a snapshot of a Runner's accounting.
+type Counters struct {
+	// Misses counts specs executed by the runner (cache fills).
+	Misses int64
+	// Hits counts requests answered from a completed cache entry.
+	Hits int64
+	// Dedups counts requests that found their spec already in flight
+	// and waited for it instead of re-running it.
+	Dedups int64
+	// Bypasses counts uncacheable or cache-disabled executions.
+	Bypasses int64
+}
+
+// String renders the snapshot the way delta-bench reports it.
+func (c Counters) String() string {
+	return fmt.Sprintf("%d runs, %d hits, %d dedups, %d bypasses",
+		c.Misses, c.Hits, c.Dedups, c.Bypasses)
+}
+
+// flight is one cache entry: closed done publishes rep/err.
+type flight struct {
+	done chan struct{}
+	rep  core.Report
+	err  error
+}
+
+// Runner executes specs, memoizing by content address. The zero value
+// is not usable; call NewRunner. Safe for concurrent use.
+type Runner struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+
+	disabled atomic.Bool
+	misses   atomic.Int64
+	hits     atomic.Int64
+	dedups   atomic.Int64
+	bypasses atomic.Int64
+}
+
+// NewRunner returns an empty runner. The cache starts disabled when
+// TASKSTREAM_NO_RUNCACHE is set in the environment — the whole-binary
+// A/B switch the CI byte-identity job flips.
+func NewRunner() *Runner {
+	r := &Runner{flights: make(map[string]*flight)}
+	r.disabled.Store(os.Getenv("TASKSTREAM_NO_RUNCACHE") != "")
+	return r
+}
+
+// Shared is the process-wide runner the experiment harness resolves
+// every spec through; sharing it is what dedups runs across
+// concurrently executing experiments.
+var Shared = NewRunner()
+
+// SetDisabled turns memoization off (every Run executes fresh) or back
+// on. Already-cached results are kept and served again once re-enabled.
+func (r *Runner) SetDisabled(v bool) { r.disabled.Store(v) }
+
+// Disabled reports whether memoization is off.
+func (r *Runner) Disabled() bool { return r.disabled.Load() }
+
+// Reset drops every cached result and zeroes the counters. Not safe to
+// call while runs are in flight.
+func (r *Runner) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.flights = make(map[string]*flight)
+	r.misses.Store(0)
+	r.hits.Store(0)
+	r.dedups.Store(0)
+	r.bypasses.Store(0)
+}
+
+// Counters returns a snapshot of the runner's accounting.
+func (r *Runner) Counters() Counters {
+	return Counters{
+		Misses:   r.misses.Load(),
+		Hits:     r.hits.Load(),
+		Dedups:   r.dedups.Load(),
+		Bypasses: r.bypasses.Load(),
+	}
+}
+
+// Run resolves the spec: from the cache when an equal spec already
+// completed, by waiting when one is in flight, by executing otherwise.
+// Errors are memoized like results — a failing spec fails every
+// requester identically. The returned report is always a deep copy;
+// callers own it outright.
+func (r *Runner) Run(s Spec) (core.Report, error) {
+	if r.Disabled() || !s.Cacheable() {
+		r.bypasses.Add(1)
+		return s.execute()
+	}
+	key := s.Key()
+	r.mu.Lock()
+	f, ok := r.flights[key]
+	if !ok {
+		f = &flight{done: make(chan struct{})}
+		r.flights[key] = f
+		r.mu.Unlock()
+		r.misses.Add(1)
+		f.rep, f.err = s.execute()
+		close(f.done)
+		return f.rep.Clone(), f.err
+	}
+	r.mu.Unlock()
+	select {
+	case <-f.done:
+		r.hits.Add(1)
+	default:
+		r.dedups.Add(1)
+		<-f.done
+	}
+	return f.rep.Clone(), f.err
+}

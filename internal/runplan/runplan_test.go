@@ -1,0 +1,188 @@
+package runplan
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"taskstream/internal/baseline"
+	"taskstream/internal/config"
+	"taskstream/internal/core"
+	"taskstream/internal/trace"
+	"taskstream/internal/workload"
+)
+
+// histSpec is the cheapest suite workload under the delta variant —
+// the test fixture for runner behavior.
+func histSpec() Spec {
+	return ForVariant(*workload.ByName("hist"), baseline.Delta, config.Default8())
+}
+
+func TestSpecKeyIdentity(t *testing.T) {
+	a, b := histSpec(), histSpec()
+	if a.Key() != b.Key() {
+		t.Fatalf("equal specs produced different keys:\n%s\n%s", a.Key(), b.Key())
+	}
+	// Every axis of the spec must reach the key.
+	other := histSpec()
+	other.Workload.Name = "hist2"
+	if other.Key() == a.Key() {
+		t.Error("workload name does not affect the key")
+	}
+	other = histSpec()
+	other.Config.Lanes = 4
+	if other.Key() == a.Key() {
+		t.Error("config does not affect the key")
+	}
+	other = histSpec()
+	other.Opts.Hints = core.HintNone
+	if other.Key() == a.Key() {
+		t.Error("options do not affect the key")
+	}
+	// Variants must never alias: static and delta configure different
+	// machines for the same workload.
+	if ForVariant(*workload.ByName("hist"), baseline.Static, config.Default8()).Key() == a.Key() {
+		t.Error("static and delta variants share a key")
+	}
+}
+
+func TestSpecKeyIgnoresTrace(t *testing.T) {
+	a := histSpec()
+	b := histSpec()
+	b.Opts.Trace = trace.New(0)
+	if a.Key() != b.Key() {
+		t.Error("trace recorder leaked into the cache key")
+	}
+	if a.Cacheable() == false {
+		t.Error("untraced spec should be cacheable")
+	}
+	if b.Cacheable() {
+		t.Error("traced spec must not be cacheable")
+	}
+}
+
+func TestRunnerMemoizes(t *testing.T) {
+	r := NewRunner()
+	r.SetDisabled(false)
+	first, err := r.Run(histSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := r.Run(histSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cycles != second.Cycles {
+		t.Fatalf("cached run disagrees: %d vs %d cycles", first.Cycles, second.Cycles)
+	}
+	c := r.Counters()
+	if c.Misses != 1 || c.Hits != 1 || c.Bypasses != 0 {
+		t.Fatalf("counters = %+v, want 1 miss + 1 hit", c)
+	}
+
+	// Copy-out: mutating a handed-out report must not corrupt the cache.
+	second.LaneBusy[0] = -1
+	second.Stats.SetVal("cycles", -1)
+	third, err := r.Run(histSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.LaneBusy[0] == -1 || third.Stats.Get("cycles") == -1 {
+		t.Fatal("mutation of a returned report reached the cached result")
+	}
+}
+
+func TestRunnerSingleFlight(t *testing.T) {
+	r := NewRunner()
+	r.SetDisabled(false)
+	const n = 8
+	reps := make([]core.Report, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			reps[i], errs[i] = r.Run(histSpec())
+		}()
+	}
+	wg.Wait()
+	for i := range errs {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if reps[i].Cycles != reps[0].Cycles {
+			t.Fatalf("request %d saw %d cycles, request 0 saw %d", i, reps[i].Cycles, reps[0].Cycles)
+		}
+	}
+	c := r.Counters()
+	if c.Misses != 1 {
+		t.Fatalf("%d misses for one spec requested %d times concurrently, want exactly 1", c.Misses, n)
+	}
+	if c.Hits+c.Dedups != n-1 {
+		t.Fatalf("hits %d + dedups %d != %d", c.Hits, c.Dedups, n-1)
+	}
+}
+
+func TestRunnerDisabledAndTraceBypass(t *testing.T) {
+	r := NewRunner()
+	r.SetDisabled(true)
+	if _, err := r.Run(histSpec()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(histSpec()); err != nil {
+		t.Fatal(err)
+	}
+	if c := r.Counters(); c.Bypasses != 2 || c.Misses != 0 || c.Hits != 0 {
+		t.Fatalf("disabled runner counters = %+v, want 2 bypasses only", c)
+	}
+
+	r.SetDisabled(false)
+	s := histSpec()
+	s.Opts.Trace = trace.New(0)
+	if _, err := r.Run(s); err != nil {
+		t.Fatal(err)
+	}
+	if c := r.Counters(); c.Bypasses != 3 {
+		t.Fatalf("traced spec did not bypass the cache: %+v", c)
+	}
+}
+
+func TestRunnerMemoizesErrors(t *testing.T) {
+	r := NewRunner()
+	r.SetDisabled(false)
+	bad := histSpec()
+	bad.Config.Lanes = 0 // fails config validation inside the machine build
+	_, err1 := r.Run(bad)
+	if err1 == nil {
+		t.Fatal("invalid config ran successfully")
+	}
+	if !strings.Contains(err1.Error(), "hist") {
+		t.Fatalf("error not attributed to the workload: %v", err1)
+	}
+	_, err2 := r.Run(bad)
+	if err2 == nil || err2.Error() != err1.Error() {
+		t.Fatalf("cached error differs: %v vs %v", err2, err1)
+	}
+	if c := r.Counters(); c.Misses != 1 || c.Hits != 1 {
+		t.Fatalf("failing spec counters = %+v, want 1 miss + 1 hit", c)
+	}
+}
+
+func TestRunnerReset(t *testing.T) {
+	r := NewRunner()
+	r.SetDisabled(false)
+	if _, err := r.Run(histSpec()); err != nil {
+		t.Fatal(err)
+	}
+	r.Reset()
+	if c := r.Counters(); c != (Counters{}) {
+		t.Fatalf("counters after Reset = %+v", c)
+	}
+	if _, err := r.Run(histSpec()); err != nil {
+		t.Fatal(err)
+	}
+	if c := r.Counters(); c.Misses != 1 || c.Hits != 0 {
+		t.Fatalf("counters after Reset+Run = %+v, want a fresh miss", c)
+	}
+}

@@ -42,6 +42,23 @@ func (s *Set) Get(name string) int64 { return s.vals[name] }
 // Names returns the counter names in first-use order.
 func (s *Set) Names() []string { return append([]string(nil), s.names...) }
 
+// Clone returns a deep copy of the set: same counters in the same
+// first-use order, fully independent storage. A nil receiver clones to
+// nil, so cached reports without stats copy out safely.
+func (s *Set) Clone() *Set {
+	if s == nil {
+		return nil
+	}
+	c := &Set{
+		names: append([]string(nil), s.names...),
+		vals:  make(map[string]int64, len(s.vals)),
+	}
+	for k, v := range s.vals {
+		c.vals[k] = v
+	}
+	return c
+}
+
 // Merge adds every counter of other into s.
 func (s *Set) Merge(other *Set) {
 	for _, n := range other.names {

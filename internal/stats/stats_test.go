@@ -207,3 +207,25 @@ func TestFormatters(t *testing.T) {
 		}
 	}
 }
+
+func TestSetClone(t *testing.T) {
+	s := NewSet()
+	s.Add("a", 1)
+	s.Add("b", 2)
+	c := s.Clone()
+	c.Add("a", 10)
+	c.Add("z", 1)
+	if s.Get("a") != 1 || s.Get("z") != 0 {
+		t.Errorf("clone aliases the original: a=%d z=%d", s.Get("a"), s.Get("z"))
+	}
+	if got, want := strings.Join(c.Names(), ","), "a,b,z"; got != want {
+		t.Errorf("clone order %q, want %q", got, want)
+	}
+	if s.String() == c.String() {
+		t.Error("mutated clone renders identically to the original")
+	}
+	var nilSet *Set
+	if nilSet.Clone() != nil {
+		t.Error("nil set should clone to nil")
+	}
+}
