@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"taskstream/internal/experiments"
+	"taskstream/internal/obs"
 	"taskstream/internal/parallel"
 	"taskstream/internal/runplan"
 )
@@ -119,6 +120,11 @@ func main() {
 		cacheState = "off"
 	}
 	fmt.Fprintf(os.Stderr, "[run cache %s: %s]\n", cacheState, runplan.Shared.Counters())
+	if !obs.Global.Empty() {
+		// Fast-forward cycle accounting (TASKSTREAM_FF_DEBUG), routed
+		// through the process-wide observability registry.
+		fmt.Fprintf(os.Stderr, "[ffstats: %s]\n", obs.Global.Line())
+	}
 	fmt.Fprintf(os.Stderr, "[all done in %v, -j %d]\n", time.Since(start).Round(time.Millisecond), *jobs)
 }
 
@@ -132,11 +138,25 @@ type jsonResult struct {
 	Metrics map[string]float64 `json:"metrics"`
 }
 
-// writeJSON dumps every result's headline metrics to path.
+// writeJSON dumps every result's headline metrics to path. When the
+// process-wide observability registry collected anything (the
+// TASKSTREAM_FF_DEBUG fast-forward meters flow through it), it is
+// appended as a synthetic "ffstats" entry so the accounting rides the
+// same machine-readable surface as the experiments.
 func writeJSON(path string, results []experiments.Result) error {
 	out := make([]jsonResult, len(results))
 	for i, r := range results {
 		out[i] = jsonResult{ID: r.ID, Title: r.Title, Metrics: r.Metrics}
+	}
+	if !obs.Global.Empty() {
+		snap := obs.Global.Snapshot()
+		m := make(map[string]float64)
+		for _, n := range snap.Names() {
+			m[n] = float64(snap.Get(n))
+		}
+		out = append(out, jsonResult{
+			ID: "ffstats", Title: "fast-forward cycle accounting", Metrics: m,
+		})
 	}
 	b, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

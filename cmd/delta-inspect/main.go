@@ -5,6 +5,12 @@
 // Usage:
 //
 //	delta-inspect -workload join [-variant delta] [-lanes 8] [-tasks 3]
+//	delta-inspect stalls -workload join [-variant delta] [-lanes 8] [-trace-out j.json]
+//
+// The stalls subcommand runs one observed simulation and prints the
+// per-lane stall-attribution table plus the observability counters;
+// -trace-out additionally writes the Chrome trace-event / Perfetto
+// JSON trace.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"taskstream/internal/config"
 	"taskstream/internal/fabric"
 	"taskstream/internal/isa"
+	"taskstream/internal/obs"
 	"taskstream/internal/stats"
 	"taskstream/internal/trace"
 	"taskstream/internal/workload"
@@ -74,6 +81,10 @@ func suiteNames() []string {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "stalls" {
+		runStalls(os.Args[2:])
+		return
+	}
 	o := options{}
 	flag.StringVar(&o.workload, "workload", "spmv", "suite workload name")
 	flag.StringVar(&o.variant, "variant", "delta", "execution model variant")
@@ -149,6 +160,71 @@ func main() {
 	if rec != nil {
 		fmt.Println()
 		fmt.Print(rec.Timeline(o.lanes, 100))
+	}
+}
+
+// runStalls implements the stalls subcommand: run one workload with an
+// observability sink attached and print where every lane's cycles went.
+func runStalls(args []string) {
+	fs := flag.NewFlagSet("delta-inspect stalls", flag.ExitOnError)
+	o := options{tasks: 0}
+	var traceOut string
+	var traceLimit int
+	fs.StringVar(&o.workload, "workload", "spmv", "suite workload name")
+	fs.StringVar(&o.variant, "variant", "delta", "execution model variant")
+	fs.IntVar(&o.lanes, "lanes", 8, "lane count")
+	fs.StringVar(&traceOut, "trace-out", "",
+		"also write a Chrome trace-event / Perfetto JSON trace to this path")
+	fs.IntVar(&traceLimit, "trace-limit", 250000,
+		"max buffered trace events (0 = unbounded)")
+	fs.Parse(args)
+
+	if err := o.validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "delta-inspect stalls: %v\n", err)
+		fs.Usage()
+		os.Exit(1)
+	}
+	if traceLimit < 0 {
+		fatalf("stalls: -trace-limit must be >= 0 (got %d)", traceLimit)
+	}
+
+	nb := workload.ByName(o.workload)
+	w := nb.Build()
+	v, _ := variantByName(o.variant)
+	cfg, opts := v.Configure(config.Default8().WithLanes(o.lanes))
+	sink := obs.New(traceLimit)
+	opts.Obs = sink
+	rep, err := baseline.RunCfg(cfg, opts, w.Prog, w.Storage)
+	if err != nil {
+		fatalf("stalls: run: %v", err)
+	}
+	if err := w.Verify(); err != nil {
+		fatalf("stalls: verification: %v", err)
+	}
+
+	fmt.Printf("== %s stall attribution (%s, %d lanes, %d cycles) ==\n",
+		o.workload, o.variant, o.lanes, rep.Cycles)
+	m := sink.Metrics()
+	fmt.Print(m.StallSummary(o.lanes, rep.Cycles))
+	fmt.Println()
+	fmt.Println("observability counters:")
+	fmt.Print(m.Stats().String())
+
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			fatalf("stalls: -trace-out: %v", err)
+		}
+		if err := obs.WriteChromeTrace(f, sink); err != nil {
+			f.Close()
+			fatalf("stalls: -trace-out: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("stalls: -trace-out: %v", err)
+		}
+		fmt.Fprintf(os.Stderr,
+			"delta-inspect: wrote %d trace events (%d dropped) to %s — load at https://ui.perfetto.dev or chrome://tracing\n",
+			sink.Len(), sink.Dropped(), traceOut)
 	}
 }
 

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	delta-sim -workload spmv -variant delta -lanes 8 [-hints exact]
+//	delta-sim -workload spmv -trace-out spmv.json   # Perfetto trace
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"taskstream/internal/baseline"
 	"taskstream/internal/config"
 	"taskstream/internal/core"
+	"taskstream/internal/obs"
 	"taskstream/internal/stats"
 	"taskstream/internal/workload"
 )
@@ -22,12 +24,14 @@ import (
 // options holds the parsed flag values; validate rejects bad ones
 // before any simulation starts.
 type options struct {
-	workload string
-	variant  string
-	lanes    int
-	hints    string
-	vet      bool
-	verbose  bool
+	workload   string
+	variant    string
+	lanes      int
+	hints      string
+	vet        bool
+	verbose    bool
+	traceOut   string
+	traceLimit int
 }
 
 // validate checks every flag value up front, returning a usage-style
@@ -46,6 +50,9 @@ func (o options) validate() error {
 	}
 	if _, err := hintModeByName(o.hints); err != nil {
 		return err
+	}
+	if o.traceLimit < 0 {
+		return fmt.Errorf("-trace-limit must be >= 0 (got %d)", o.traceLimit)
 	}
 	return nil
 }
@@ -92,6 +99,10 @@ func main() {
 	flag.StringVar(&o.hints, "hints", "exact", "work-hint fidelity: exact|noisy|none")
 	flag.BoolVar(&o.vet, "vet", true, "statically verify the program before running (delta-vet)")
 	flag.BoolVar(&o.verbose, "v", false, "print every counter")
+	flag.StringVar(&o.traceOut, "trace-out", "",
+		"write a Chrome trace-event / Perfetto JSON trace of the run to this path")
+	flag.IntVar(&o.traceLimit, "trace-limit", 250000,
+		"max buffered trace events (0 = unbounded; metrics keep counting past the limit)")
 	flag.Parse()
 
 	if err := o.validate(); err != nil {
@@ -108,12 +119,39 @@ func main() {
 	cfg, opts := v.Configure(config.Default8().WithLanes(o.lanes))
 	opts.Hints = hm
 	opts.Vet = o.vet
+	var sink *obs.Sink
+	if o.traceOut != "" {
+		sink = obs.New(o.traceLimit)
+		opts.Obs = sink
+	}
 	rep, err := baseline.RunCfg(cfg, opts, w.Prog, w.Storage)
 	if err != nil {
 		fatalf("run: %v", err)
 	}
 	if err := w.Verify(); err != nil {
 		fatalf("verification: %v", err)
+	}
+	if sink != nil {
+		// Trace output and its note go to the file and stderr so stdout
+		// stays byte-identical with and without -trace-out.
+		f, err := os.Create(o.traceOut)
+		if err != nil {
+			fatalf("-trace-out: %v", err)
+		}
+		if err := obs.WriteChromeTrace(f, sink); err != nil {
+			f.Close()
+			fatalf("-trace-out: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("-trace-out: %v", err)
+		}
+		fmt.Fprintf(os.Stderr,
+			"delta-sim: wrote %d trace events (%d dropped) to %s — load at https://ui.perfetto.dev or chrome://tracing\n",
+			sink.Len(), sink.Dropped(), o.traceOut)
+	}
+	if !obs.Global.Empty() {
+		// Fast-forward cycle accounting (TASKSTREAM_FF_DEBUG).
+		fmt.Fprintf(os.Stderr, "delta-sim: %s\n", obs.Global.Line())
 	}
 
 	fmt.Printf("workload=%s variant=%s lanes=%d\n", o.workload, o.variant, o.lanes)

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"taskstream/internal/obs"
 	"taskstream/internal/sim"
 	"taskstream/internal/trace"
 )
@@ -397,6 +398,20 @@ func (c *coordinator) removePending(ph, i int) {
 
 // send hands a resolved task to a lane and books the accounting.
 func (c *coordinator) send(r *resolved, lane int) {
+	if s := c.m.opts.Obs; s != nil {
+		// Losing candidates: every other lane that also had queue space
+		// when the decision was made (computed before enqueue mutates
+		// occupancy). Lanes past bit 62 are left out of the mask.
+		var losing int64
+		for i := 0; i < c.m.cfg.Lanes && i < 63; i++ {
+			if i != lane && c.m.lanes[i].QueueSpace() > 0 {
+				losing |= 1 << uint(i)
+			}
+		}
+		s.Emit(obs.Event{Cycle: int64(c.m.now), Kind: obs.KindDispatch,
+			Comp: int32(lane), A: r.hint, B: losing,
+			Name: c.m.prog.Types[r.typeID].Name})
+	}
 	c.m.lanes[lane].enqueue(r)
 	c.laneWork[lane] += r.hint
 	c.activeCount[r.task.Phase]++

@@ -8,17 +8,20 @@ import "fmt"
 // reports can be handed to many callers without aliasing.
 
 // Cacheable reports whether a run under these options is a pure
-// function of (config, program, options). A live trace recorder is an
-// observable side channel — two runs that share it are not
-// interchangeable — so traced runs must never be memoized.
-func (o Options) Cacheable() bool { return o.Trace == nil }
+// function of (config, program, options). A live trace recorder or
+// observability sink is an observable side channel — two runs that
+// share one are not interchangeable — so traced runs must never be
+// memoized.
+func (o Options) Cacheable() bool { return o.Trace == nil && o.Obs == nil }
 
 // Normalized returns options reduced to the fields that determine the
-// run's observable result: the trace recorder is dropped (it never
-// alters simulation behavior) and non-positive MaxCycles collapses to
-// zero, since every value <= 0 means "engine default".
+// run's observable result: the trace recorder and observability sink
+// are dropped (neither alters simulation behavior) and non-positive
+// MaxCycles collapses to zero, since every value <= 0 means "engine
+// default".
 func (o Options) Normalized() Options {
 	o.Trace = nil
+	o.Obs = nil
 	if o.MaxCycles <= 0 {
 		o.MaxCycles = 0
 	}

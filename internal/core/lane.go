@@ -2,6 +2,7 @@ package core
 
 import (
 	"taskstream/internal/mem"
+	"taskstream/internal/obs"
 	"taskstream/internal/sim"
 	"taskstream/internal/stream"
 	"taskstream/internal/trace"
@@ -65,6 +66,13 @@ type Lane struct {
 	// output-space stalls.
 	StallIn  [stream.NumSrcKinds]int64
 	StallOut int64
+
+	// Observability span state: the lane has been in obsCause (running
+	// obsName) since cycle obsSince. Maintained only when a sink is
+	// attached; see observe.
+	obsCause obs.Cause
+	obsName  string
+	obsSince sim.Cycle
 }
 
 func newLane(id int, m *Machine) *Lane {
@@ -96,7 +104,9 @@ func (l *Lane) enqueue(r *resolved) {
 
 // Tick advances the lane one cycle.
 func (l *Lane) Tick(now sim.Cycle) {
-	// Deliver NoC messages to the stream engine.
+	// Deliver NoC messages to the stream engine. SetCycle first so the
+	// engine's message-handler events carry this cycle's stamp.
+	l.eng.SetCycle(now)
 	node := l.node
 	for {
 		msg, ok := l.m.mesh.Pop(node)
@@ -122,18 +132,97 @@ func (l *Lane) Tick(now sim.Cycle) {
 
 	switch l.state {
 	case laneIdle:
-		r, ok := l.queue.Pop()
-		if !ok {
-			return
+		if r, ok := l.queue.Pop(); ok {
+			l.cur = r
+			l.startTask(now)
 		}
-		l.cur = r
-		l.startTask(now)
 	case laneConfig:
 		if now >= l.configDone {
 			l.state = laneRunning
 		}
 	case laneRunning:
 		l.run(now)
+	}
+	if l.m.opts.Obs != nil {
+		l.observe(now)
+	}
+}
+
+// observe classifies what the lane spent this cycle doing and extends
+// the current state span, closing it into an event when the
+// classification changes. Runs after the FSM so a task completed this
+// cycle already reads as idle.
+func (l *Lane) observe(now sim.Cycle) {
+	cause, name := l.classify(now)
+	if cause == l.obsCause && name == l.obsName {
+		return
+	}
+	l.obsEmit(now)
+	l.obsCause, l.obsName, l.obsSince = cause, name, now
+}
+
+// obsEmit closes the current state span at end, if it is non-empty.
+func (l *Lane) obsEmit(end sim.Cycle) {
+	if end > l.obsSince {
+		l.m.opts.Obs.Emit(obs.Event{Cycle: int64(l.obsSince), Dur: int64(end - l.obsSince),
+			Kind: obs.KindLaneState, Cause: l.obsCause, Comp: int32(l.id), Name: l.obsName})
+	}
+}
+
+// obsFlush closes the lane's final state span when the run ends.
+func (l *Lane) obsFlush(end sim.Cycle) {
+	l.obsEmit(end)
+	l.obsSince = end
+}
+
+// classify attributes the lane's current cycle to a cause: the stall
+// taxonomy when a due firing is blocked, run/config/drain through the
+// FSM, and — when idle — the phase-barrier wait whenever the current
+// phase has no pending tasks but still-active ones elsewhere.
+func (l *Lane) classify(now sim.Cycle) (obs.Cause, string) {
+	switch l.state {
+	case laneConfig:
+		return obs.CauseConfig, l.m.prog.Types[l.cur.typeID].Name
+	case laneRunning:
+		r := l.cur
+		name := l.m.prog.Types[r.typeID].Name
+		if l.firing < r.firings {
+			if now < l.nextFire {
+				return obs.CauseRun, name // pipeline initiating at its II
+			}
+			in, out, ok := l.fireBlock(r)
+			switch {
+			case ok:
+				return obs.CauseRun, name
+			case out:
+				return obs.CauseStallOut, name
+			default:
+				return stallCause(in), name
+			}
+		}
+		return obs.CauseDrain, name
+	}
+	if l.queue.Empty() {
+		c := l.m.coord
+		if c.pendingCount[c.phase] == 0 && c.activeCount[c.phase] > 0 {
+			return obs.CauseBarrier, ""
+		}
+	}
+	return obs.CauseIdle, ""
+}
+
+// stallCause maps a blocking input source kind onto the observability
+// stall taxonomy.
+func stallCause(k stream.SrcKind) obs.Cause {
+	switch k {
+	case stream.SrcSpad:
+		return obs.CauseStallSpad
+	case stream.SrcForward:
+		return obs.CauseStallFwd
+	case stream.SrcMulticast:
+		return obs.CauseStallMcast
+	default:
+		return obs.CauseStallDRAM
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"taskstream/internal/fabric"
 	"taskstream/internal/mem"
 	"taskstream/internal/noc"
+	"taskstream/internal/obs"
 	"taskstream/internal/proto"
 	"taskstream/internal/sim"
 	"taskstream/internal/stats"
@@ -25,6 +26,14 @@ type Options struct {
 	MaxCycles sim.Cycle
 	// Trace, when non-nil, records task lifecycle events.
 	Trace *trace.Recorder
+	// Obs, when non-nil, receives the machine-wide observability event
+	// stream (package obs): dispatch decisions, lane state spans with
+	// stall attribution, stream-engine spans, multicast table activity,
+	// NoC hop and DRAM channel occupancy. Attaching a sink disables
+	// event-horizon fast-forwarding for the run so attribution is
+	// observed per cycle rather than synthesized — a switch the §11
+	// byte-identity contract guarantees changes no cycle count or stat.
+	Obs *obs.Sink
 	// Vet runs the registered whole-program static verifier (see
 	// RegisterVetter; internal/analysis provides it) before the machine
 	// is wired. NewMachine fails if the program does not vet clean.
@@ -121,9 +130,22 @@ func NewMachine(cfg config.Config, prog *Program, storage *mem.Storage, opts Opt
 		m.lanes = append(m.lanes, newLane(i, m))
 	}
 	m.coord = newCoordinator(m, opts.Policy)
+	if opts.Obs != nil {
+		opts.Obs.Lanes = cfg.Lanes
+		opts.Obs.Channels = cfg.DRAM.Channels
+		m.mesh.SetObs(opts.Obs)
+		for c, ch := range m.channels {
+			ch.SetObs(opts.Obs, int32(c))
+		}
+		for _, l := range m.lanes {
+			l.eng.SetObs(opts.Obs)
+		}
+		m.mcast.obs = opts.Obs
+	}
 
 	m.engine = sim.NewEngine()
-	m.engine.FastForward = !opts.DisableFastForward && os.Getenv("TASKSTREAM_NO_FASTFORWARD") == ""
+	m.engine.FastForward = !opts.DisableFastForward && opts.Obs == nil &&
+		os.Getenv("TASKSTREAM_NO_FASTFORWARD") == ""
 	if opts.MaxCycles > 0 {
 		m.engine.MaxCycles = opts.MaxCycles
 	}
@@ -208,17 +230,25 @@ func (m *Machine) submitMcast(req proto.McastReq) bool {
 func (m *Machine) Run() (Report, error) {
 	cycles, err := m.engine.Run(m.coord.AllDone)
 	if ffDebug {
-		fmt.Fprintf(os.Stderr, "ffstats executed=%d skipped=%d\n",
-			m.engine.ExecutedCycles, m.engine.SkippedCycles)
+		obs.Global.Add("ff_runs", 1)
+		obs.Global.Add("ff_executed_cycles", m.engine.ExecutedCycles)
+		obs.Global.Add("ff_skipped_cycles", m.engine.SkippedCycles)
 	}
 	if err != nil {
 		return Report{}, err
 	}
+	if m.opts.Obs != nil {
+		for _, l := range m.lanes {
+			l.obsFlush(cycles)
+		}
+	}
 	return m.report(int64(cycles)), nil
 }
 
-// ffDebug (TASKSTREAM_FF_DEBUG) prints per-run fast-forward meters to
-// stderr: cycles individually executed versus skipped.
+// ffDebug (TASKSTREAM_FF_DEBUG) meters per-run fast-forward cycle
+// accounting — cycles individually executed versus skipped — into the
+// process-wide obs.Global registry, where delta-bench -json and the
+// CLIs surface it.
 var ffDebug = os.Getenv("TASKSTREAM_FF_DEBUG") != ""
 
 // report assembles the statistics snapshot.
@@ -337,6 +367,10 @@ func (mc *memCtrl) Tick(now sim.Cycle) {
 			Dests: req.Dests,
 			Bytes: mc.m.cfg.DRAM.LineBytes,
 			Body:  proto.McastLineBody{Group: req.Group, Seq: req.Seq},
+		}
+		if s := mc.m.opts.Obs; s != nil {
+			s.Emit(obs.Event{Cycle: int64(now), Kind: obs.KindMcastForward,
+				Comp: int32(mc.chn), A: int64(req.Group), B: int64(req.Seq)})
 		}
 	} else {
 		lane, _, _, _ := proto.SplitReqID(r.ID)

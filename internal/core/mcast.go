@@ -2,6 +2,7 @@ package core
 
 import (
 	"taskstream/internal/mem"
+	"taskstream/internal/obs"
 	"taskstream/internal/proto"
 	"taskstream/internal/sim"
 )
@@ -28,6 +29,9 @@ type mcastManager struct {
 	Groups      int64
 	MemberJoins int64
 	LinesSaved  int64 // unicast line fetches avoided by sharing
+
+	// obs, when non-nil, receives table hit/miss events (nil-safe).
+	obs *obs.Sink
 }
 
 type mcastKey struct {
@@ -66,6 +70,8 @@ func (mm *mcastManager) join(base mem.Addr, n int, laneNode int, now sim.Cycle) 
 		g.members++
 		mm.MemberJoins++
 		mm.LinesSaved += int64(g.lines)
+		mm.obs.Emit(obs.Event{Cycle: int64(now), Kind: obs.KindMcastHit,
+			Comp: int32(laneNode), A: int64(g.id), B: int64(g.lines)})
 		return g
 	}
 	first := mem.LineOf(base, mm.lineBytes)
@@ -87,6 +93,8 @@ func (mm *mcastManager) join(base mem.Addr, n int, laneNode int, now sim.Cycle) 
 	mm.open[key] = g
 	mm.Groups++
 	mm.MemberJoins++
+	mm.obs.Emit(obs.Event{Cycle: int64(now), Kind: obs.KindMcastMiss,
+		Comp: int32(laneNode), A: int64(g.id), B: int64(lines)})
 	return g
 }
 

@@ -2,6 +2,7 @@ package mem
 
 import (
 	"taskstream/internal/config"
+	"taskstream/internal/obs"
 	"taskstream/internal/sim"
 )
 
@@ -41,6 +42,11 @@ type Channel struct {
 	ReadLines  int64
 	WriteLines int64
 	BusyCycles int64
+
+	// obs, when non-nil, receives a service-occupancy event per line;
+	// obsID is the channel index those events carry.
+	obs   *obs.Sink
+	obsID int32
 }
 
 // NewChannel returns a channel with the given DRAM parameters.
@@ -55,6 +61,12 @@ func NewChannel(cfg config.DRAM) *Channel {
 		resp:       sim.NewPipe[Response](0),
 		servicePer: per,
 	}
+}
+
+// SetObs attaches the observability sink; id is this channel's index.
+func (ch *Channel) SetObs(s *obs.Sink, id int32) {
+	ch.obs = s
+	ch.obsID = id
 }
 
 // Submit enqueues a request, reporting false under backpressure.
@@ -75,6 +87,14 @@ func (ch *Channel) Tick(now sim.Cycle) {
 	ch.nextIssue = now + ch.servicePer
 	done := now + sim.Cycle(ch.cfg.LatencyCycles) + ch.servicePer
 	ch.resp.SendAt(done, Response{ID: r.ID, Line: r.Line, Write: r.Write})
+	if ch.obs != nil {
+		var w int64
+		if r.Write {
+			w = 1
+		}
+		ch.obs.Emit(obs.Event{Cycle: int64(now), Dur: int64(ch.servicePer),
+			Kind: obs.KindDRAM, Comp: ch.obsID, A: int64(r.Line), B: w})
+	}
 	if r.Write {
 		ch.WriteLines++
 	} else {

@@ -17,6 +17,7 @@ import (
 	"math"
 
 	"taskstream/internal/config"
+	"taskstream/internal/obs"
 	"taskstream/internal/sim"
 )
 
@@ -67,6 +68,9 @@ type link struct {
 	blocked    Message
 	hasBlocked bool
 	flits      int64
+	// idx is the link's position in allLinks — the component index
+	// occupancy events carry.
+	idx int32
 }
 
 const (
@@ -108,6 +112,9 @@ type Mesh struct {
 	MsgsSent   int64
 	FlitCycles int64
 	Replicas   int64 // extra copies created by multicast branching
+
+	// obs, when non-nil, receives per-link occupancy events.
+	obs *obs.Sink
 }
 
 // NewMesh builds a mesh for the given node count. Node ids 0..n-1 are
@@ -144,11 +151,31 @@ func NewMesh(cfg config.NoC, nodes int) *Mesh {
 	for n := 0; n < nodes; n++ {
 		for d := 0; d < numDirs; d++ {
 			if l := m.out[n][d]; l != nil {
+				l.idx = int32(len(m.allLinks))
 				m.allLinks = append(m.allLinks, l)
 			}
 		}
 	}
 	return m
+}
+
+// SetObs attaches the observability sink: every link transmission
+// emits a KindNoCHop occupancy event, and the per-link track labels
+// ("n3→n4") are registered into the sink for the exporters.
+func (m *Mesh) SetObs(s *obs.Sink) {
+	m.obs = s
+	if s == nil {
+		return
+	}
+	labels := make([]string, len(m.allLinks))
+	for n := 0; n < m.nodes; n++ {
+		for d := 0; d < numDirs; d++ {
+			if l := m.out[n][d]; l != nil {
+				labels[l.idx] = fmt.Sprintf("n%d→n%d", n, m.neighbor(n, d))
+			}
+		}
+	}
+	s.LinkLabels = labels
 }
 
 // Nodes returns the node count.
@@ -344,6 +371,11 @@ func (m *Mesh) Tick(now sim.Cycle) {
 		l.flits += int64(ser)
 		m.FlitCycles += int64(ser)
 		l.inflight.SendAt(now+ser+sim.Cycle(m.cfg.LinkLatency), msg)
+		if m.obs != nil {
+			m.obs.Emit(obs.Event{Cycle: int64(now), Dur: int64(ser),
+				Kind: obs.KindNoCHop, Comp: l.idx,
+				A: int64(msg.Bytes), B: int64(msg.Kind)})
+		}
 	}
 }
 

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// decodeTrace unmarshals an exported trace generically, as a validator
+// that knows nothing of chromeEvent's field set would.
+func decodeTrace(t *testing.T, b []byte) []map[string]any {
+	t.Helper()
+	if !json.Valid(b) {
+		t.Fatal("exported trace is not valid JSON")
+	}
+	var top struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &top); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	return top.TraceEvents
+}
+
+// TestWriteChromeTraceRequiredFields pins the exporter contract the CI
+// validator enforces: every event — metadata included — carries ph,
+// ts, pid, and tid.
+func TestWriteChromeTraceRequiredFields(t *testing.T) {
+	s := New(0)
+	s.Lanes = 2
+	s.Channels = 1
+	s.LinkLabels = []string{"n0→n1"}
+	s.Emit(Event{Cycle: 5, Dur: 3, Kind: KindLaneState, Cause: CauseRun, Comp: 0, Name: "copy"})
+	s.Emit(Event{Cycle: 6, Kind: KindDispatch, Comp: 1, A: 100, B: 0x1, Name: "copy"})
+	s.Emit(Event{Cycle: 7, Kind: KindSpanIssue, Comp: 0, A: 0x40, B: 8})
+	s.Emit(Event{Cycle: 9, Kind: KindSpanComplete, Comp: 0, A: 0, B: 8})
+	s.Emit(Event{Cycle: 10, Dur: 4, Kind: KindNoCHop, Comp: 0, A: 64, B: 1})
+	s.Emit(Event{Cycle: 12, Dur: 8, Kind: KindDRAM, Comp: 0, A: 0x80, B: 1})
+	s.Emit(Event{Cycle: 13, Kind: KindMcastHit, Comp: 1, A: 1, B: 16})
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, s); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	events := decodeTrace(t, buf.Bytes())
+	if len(events) == 0 {
+		t.Fatal("no events exported")
+	}
+	for i, ev := range events {
+		for _, field := range []string{"ph", "ts", "pid", "tid"} {
+			if _, ok := ev[field]; !ok {
+				t.Fatalf("event %d missing required field %q: %v", i, field, ev)
+			}
+		}
+	}
+	// The emitted kinds must land on their component-class processes.
+	pids := map[float64]bool{}
+	for _, ev := range events {
+		if ev["ph"] != "M" {
+			pids[ev["pid"].(float64)] = true
+		}
+	}
+	for _, pid := range []float64{pidCoordinator, pidLanes, pidStreams, pidNoC, pidDRAM, pidMcast} {
+		if !pids[pid] {
+			t.Fatalf("no events on pid %v (have %v)", pid, pids)
+		}
+	}
+}
+
+// TestWriteChromeTraceMetadata pins the track naming: processes for
+// every component class, threads for the lanes/engines/channels the
+// sink declares, and NoC threads only for links the trace touches.
+func TestWriteChromeTraceMetadata(t *testing.T) {
+	s := New(0)
+	s.Lanes = 2
+	s.Channels = 2
+	s.LinkLabels = []string{"n0→n1", "n1→n0"}
+	s.Emit(Event{Cycle: 1, Dur: 1, Kind: KindNoCHop, Comp: 1})
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, s); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	events := decodeTrace(t, buf.Bytes())
+	threadNames := map[string]bool{}
+	processNames := map[string]bool{}
+	for _, ev := range events {
+		if ev["ph"] != "M" {
+			continue
+		}
+		args := ev["args"].(map[string]any)
+		name := args["name"].(string)
+		switch ev["name"] {
+		case "process_name":
+			processNames[name] = true
+		case "thread_name":
+			threadNames[name] = true
+		}
+	}
+	for _, want := range []string{"coordinator", "lanes", "stream-engines", "noc", "dram", "multicast"} {
+		if !processNames[want] {
+			t.Fatalf("missing process %q (have %v)", want, processNames)
+		}
+	}
+	for _, want := range []string{"lane 0", "lane 1", "engine 0", "engine 1", "channel 0", "channel 1", "n1→n0"} {
+		if !threadNames[want] {
+			t.Fatalf("missing thread %q (have %v)", want, threadNames)
+		}
+	}
+	if threadNames["n0→n1"] {
+		t.Fatal("untouched link 0 must not get a thread track")
+	}
+}

@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"taskstream/internal/stats"
+)
+
+// Metrics is the per-component registry folded incrementally from the
+// event stream: per-lane per-cause cycle breakdowns, per-channel and
+// per-link occupancy, and machine-wide event counts. It is built by
+// Sink.Emit; read it through Sink.Metrics after a run.
+type Metrics struct {
+	// laneCause[lane][cause] is the cycles lane spent in cause-state
+	// spans (KindLaneState Dur totals).
+	laneCause map[int32]*[NumCauses]int64
+	// linkBusy and dramBusy are per-component occupied cycles.
+	linkBusy map[int32]int64
+	dramBusy map[int32]int64
+
+	// Machine-wide event counts.
+	Dispatches      int64
+	SpansIssued     int64
+	SpansCompleted  int64
+	McastHits       int64
+	McastMisses     int64
+	McastLinesSaved int64
+	McastForwards   int64
+	NoCHops         int64
+	NoCBusyCycles   int64
+	DRAMServices    int64
+	DRAMBusyCycles  int64
+}
+
+func newMetrics() Metrics {
+	return Metrics{
+		laneCause: make(map[int32]*[NumCauses]int64),
+		linkBusy:  make(map[int32]int64),
+		dramBusy:  make(map[int32]int64),
+	}
+}
+
+// fold accumulates one event into the registry.
+func (m *Metrics) fold(ev Event) {
+	switch ev.Kind {
+	case KindDispatch:
+		m.Dispatches++
+	case KindLaneState:
+		lc := m.laneCause[ev.Comp]
+		if lc == nil {
+			lc = new([NumCauses]int64)
+			m.laneCause[ev.Comp] = lc
+		}
+		if ev.Cause < NumCauses {
+			lc[ev.Cause] += ev.Dur
+		}
+	case KindSpanIssue:
+		m.SpansIssued++
+	case KindSpanComplete:
+		m.SpansCompleted++
+	case KindMcastHit:
+		m.McastHits++
+		m.McastLinesSaved += ev.B
+	case KindMcastMiss:
+		m.McastMisses++
+	case KindMcastForward:
+		m.McastForwards++
+	case KindNoCHop:
+		m.NoCHops++
+		m.NoCBusyCycles += ev.Dur
+		m.linkBusy[ev.Comp] += ev.Dur
+	case KindDRAM:
+		m.DRAMServices++
+		m.DRAMBusyCycles += ev.Dur
+		m.dramBusy[ev.Comp] += ev.Dur
+	}
+}
+
+// LaneCause returns the cycles lane spent in cause-state spans.
+func (m *Metrics) LaneCause(lane int, cause Cause) int64 {
+	if lc := m.laneCause[int32(lane)]; lc != nil && cause < NumCauses {
+		return lc[cause]
+	}
+	return 0
+}
+
+// CauseTotal returns the cycles all lanes together spent in cause.
+func (m *Metrics) CauseTotal(cause Cause) int64 {
+	var t int64
+	for _, lc := range m.laneCause {
+		if cause < NumCauses {
+			t += lc[cause]
+		}
+	}
+	return t
+}
+
+// Stats folds the registry into a named counter set — the surface the
+// experiment harness and CLIs print. Counter order is fixed, so the
+// output is deterministic.
+func (m *Metrics) Stats() *stats.Set {
+	s := stats.NewSet()
+	s.SetVal("obs_dispatches", m.Dispatches)
+	for c := Cause(0); c < NumCauses; c++ {
+		s.SetVal("obs_lane_cycles_"+c.String(), m.CauseTotal(c))
+	}
+	s.SetVal("obs_spans_issued", m.SpansIssued)
+	s.SetVal("obs_spans_completed", m.SpansCompleted)
+	s.SetVal("obs_mcast_hits", m.McastHits)
+	s.SetVal("obs_mcast_misses", m.McastMisses)
+	s.SetVal("obs_mcast_lines_saved", m.McastLinesSaved)
+	s.SetVal("obs_mcast_forwards", m.McastForwards)
+	s.SetVal("obs_noc_hops", m.NoCHops)
+	s.SetVal("obs_noc_busy_cycles", m.NoCBusyCycles)
+	s.SetVal("obs_dram_services", m.DRAMServices)
+	s.SetVal("obs_dram_busy_cycles", m.DRAMBusyCycles)
+	return s
+}
+
+// StallSummary renders the per-lane stall-attribution table: one row
+// per lane, one column per cause, each cell the cycles (and share of
+// totalCycles) the lane spent there. totalCycles ≤ 0 suppresses the
+// percentage column.
+func (m *Metrics) StallSummary(lanes int, totalCycles int64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "stall attribution (cycles per lane per cause):\n")
+	causes := []Cause{CauseRun, CauseConfig, CauseStallDRAM, CauseStallSpad,
+		CauseStallFwd, CauseStallMcast, CauseStallOut, CauseDrain, CauseBarrier}
+	fmt.Fprintf(&b, "%-8s", "lane")
+	for _, c := range causes {
+		fmt.Fprintf(&b, "%12s", c.String())
+	}
+	b.WriteByte('\n')
+	for lane := 0; lane < lanes; lane++ {
+		fmt.Fprintf(&b, "%-8d", lane)
+		for _, c := range causes {
+			fmt.Fprintf(&b, "%12d", m.LaneCause(lane, c))
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%-8s", "total")
+	for _, c := range causes {
+		fmt.Fprintf(&b, "%12d", m.CauseTotal(c))
+	}
+	b.WriteByte('\n')
+	if totalCycles > 0 {
+		fmt.Fprintf(&b, "%-8s", "share")
+		denom := float64(totalCycles) * float64(lanes)
+		for _, c := range causes {
+			fmt.Fprintf(&b, "%11.1f%%", 100*float64(m.CauseTotal(c))/denom)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Registry is a mutex-guarded process-wide counter set for metrics
+// that aggregate across runs rather than within one — the
+// fast-forward executed/skipped meters flow through it so harness
+// binaries can report them without every run printing ad hoc.
+type Registry struct {
+	mu  sync.Mutex
+	set *stats.Set
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{set: stats.NewSet()} }
+
+// Add increments counter name by delta.
+func (r *Registry) Add(name string, delta int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.set.Add(name, delta)
+}
+
+// Snapshot returns an independent copy of the current counters.
+func (r *Registry) Snapshot() *stats.Set {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.set.Clone()
+}
+
+// Line renders the registry's counters as one "name=value ..." line in
+// first-use order, for stderr summaries.
+func (r *Registry) Line() string {
+	s := r.Snapshot()
+	var b strings.Builder
+	for i, n := range s.Names() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", n, s.Get(n))
+	}
+	return b.String()
+}
+
+// Empty reports whether nothing has been recorded.
+func (r *Registry) Empty() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.set.Names()) == 0
+}
+
+// Global is the process-wide registry harness binaries report from
+// (delta-bench appends it to -json output, delta-sim prints it to
+// stderr when TASKSTREAM_FF_DEBUG is set).
+var Global = NewRegistry()

@@ -1,0 +1,74 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"taskstream/internal/baseline"
+	"taskstream/internal/config"
+	"taskstream/internal/obs"
+	"taskstream/internal/workload"
+)
+
+// TestTracedSuiteExport runs one observed simulation per workload
+// family (irregular sparse, relational, regular dense) on the default
+// config and pins the acceptance criterion: the export is valid
+// trace-event JSON whose every event carries ph/ts/pid/tid, with lane,
+// stream-engine, NoC, and DRAM tracks all populated.
+func TestTracedSuiteExport(t *testing.T) {
+	families := []string{"spmv", "join", "stencil"}
+	for _, name := range families {
+		t.Run(name, func(t *testing.T) {
+			nb := workload.ByName(name)
+			if nb == nil {
+				t.Fatalf("unknown workload %q", name)
+			}
+			w := nb.Build()
+			cfg, opts := baseline.Delta.Configure(config.Default8())
+			sink := obs.New(100000)
+			opts.Obs = sink
+			rep, err := baseline.RunCfg(cfg, opts, w.Prog, w.Storage)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if err := w.Verify(); err != nil {
+				t.Fatalf("verify: %v", err)
+			}
+			if rep.Cycles <= 0 || sink.Len() == 0 {
+				t.Fatalf("cycles=%d events=%d", rep.Cycles, sink.Len())
+			}
+
+			var buf bytes.Buffer
+			if err := obs.WriteChromeTrace(&buf, sink); err != nil {
+				t.Fatalf("export: %v", err)
+			}
+			if !json.Valid(buf.Bytes()) {
+				t.Fatal("export is not valid JSON")
+			}
+			var top struct {
+				TraceEvents []map[string]any `json:"traceEvents"`
+			}
+			if err := json.Unmarshal(buf.Bytes(), &top); err != nil {
+				t.Fatalf("unmarshal: %v", err)
+			}
+			// pid 2..5 = lanes, stream-engines, noc, dram (export.go).
+			tracks := map[float64]int{}
+			for i, ev := range top.TraceEvents {
+				for _, field := range []string{"ph", "ts", "pid", "tid"} {
+					if _, ok := ev[field]; !ok {
+						t.Fatalf("event %d missing %q", i, field)
+					}
+				}
+				if ev["ph"] != "M" {
+					tracks[ev["pid"].(float64)]++
+				}
+			}
+			for pid, label := range map[float64]string{2: "lane", 3: "stream-engine", 4: "noc", 5: "dram"} {
+				if tracks[pid] == 0 {
+					t.Fatalf("no %s events in the %s trace (tracks: %v)", label, name, tracks)
+				}
+			}
+		})
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"taskstream/internal/config"
 	"taskstream/internal/mem"
 	"taskstream/internal/noc"
+	"taskstream/internal/obs"
 	"taskstream/internal/proto"
 	"taskstream/internal/sim"
 )
@@ -56,6 +57,12 @@ type Engine struct {
 	SpadAccesses       int64
 	FwdMsgsSent        int64
 	FwdElemsRecv       int64
+
+	// obs, when non-nil, receives span issue/complete events; now is
+	// the engine's view of the current cycle (messages are delivered
+	// outside Tick, so the lane refreshes it via SetCycle).
+	obs *obs.Sink
+	now sim.Cycle
 }
 
 // idxPortBias distinguishes gather-index requests from value requests
@@ -96,6 +103,14 @@ func NewEngine(lane int, cfg config.Config, topo proto.Topology, inj Injector, s
 	}
 	return e
 }
+
+// SetObs attaches the observability sink.
+func (e *Engine) SetObs(s *obs.Sink) { e.obs = s }
+
+// SetCycle refreshes the engine's notion of the current cycle so that
+// events emitted from message handlers (which run outside Tick) carry
+// the right stamp.
+func (e *Engine) SetCycle(now sim.Cycle) { e.now = now }
 
 // readCtx tracks one input port's stream progress.
 type readCtx struct {
@@ -372,6 +387,7 @@ func (e *Engine) Done() bool {
 // requests under the per-cycle budget (current task first, armed
 // prefetch with the leftovers), and ship pending writes.
 func (e *Engine) Tick(now sim.Cycle) {
+	e.now = now
 	e.collectSpad(now)
 	budget := e.reqBudget
 	for _, c := range e.reads {
@@ -469,6 +485,10 @@ func (e *Engine) issueRead(c *readCtx, budget int) int {
 			}
 			if !e.sendLineReq(sp.Line, false, c.id, int64(c.issued)) {
 				return 0
+			}
+			if e.obs != nil {
+				e.obs.Emit(obs.Event{Cycle: int64(e.now), Kind: obs.KindSpanIssue,
+					Comp: int32(e.lane), A: int64(sp.Line), B: int64(sp.Elems)})
 			}
 			c.issued++
 			c.outst++
@@ -613,9 +633,14 @@ func (e *Engine) OnMessage(msg noc.Message) {
 		}
 		c.arrived[seq] = true
 		c.outst--
+		before := c.avail
 		for c.prefix < len(c.arrived) && c.arrived[c.prefix] {
 			c.avail += c.spans[c.prefix].Elems
 			c.prefix++
+		}
+		if e.obs != nil {
+			e.obs.Emit(obs.Event{Cycle: int64(e.now), Kind: obs.KindSpanComplete,
+				Comp: int32(e.lane), A: seq, B: int64(c.avail - before)})
 		}
 		e.retireIfDone(c)
 	case proto.McastLineBody:

@@ -100,31 +100,35 @@ func (r *Recorder) Spans() []TaskSpan {
 	if r == nil {
 		return nil
 	}
-	type slot struct{ span *TaskSpan }
-	open := map[string][]*TaskSpan{} // key → FIFO of spans missing later stages
+	// spanKey is comparable, keeping the per-event pairing loop free of
+	// the string formatting that used to dominate traced-run profiles.
+	type spanKey struct {
+		lane int
+		key  uint64
+	}
+	open := map[spanKey][]*TaskSpan{} // key → FIFO of spans missing later stages
 	var out []*TaskSpan
-	id := func(lane int, key uint64) string { return fmt.Sprintf("%d/%d", lane, key) }
 	for _, ev := range r.events {
+		id := spanKey{ev.Lane, ev.TaskKey}
 		switch ev.Kind {
 		case Dispatch:
 			sp := &TaskSpan{Lane: ev.Lane, TaskKey: ev.TaskKey, TypeName: ev.TypeName,
 				Phase: ev.Phase, Dispatched: ev.Cycle, Started: -1, Completed: -1}
-			open[id(ev.Lane, ev.TaskKey)] = append(open[id(ev.Lane, ev.TaskKey)], sp)
+			open[id] = append(open[id], sp)
 			out = append(out, sp)
 		case Start:
-			q := open[id(ev.Lane, ev.TaskKey)]
-			for _, sp := range q {
+			for _, sp := range open[id] {
 				if sp.Started < 0 {
 					sp.Started = ev.Cycle
 					break
 				}
 			}
 		case Complete:
-			q := open[id(ev.Lane, ev.TaskKey)]
+			q := open[id]
 			for i, sp := range q {
 				if sp.Started >= 0 && sp.Completed < 0 {
 					sp.Completed = ev.Cycle
-					open[id(ev.Lane, ev.TaskKey)] = q[i+1:]
+					open[id] = q[i+1:]
 					break
 				}
 			}
@@ -163,19 +167,26 @@ func (r *Recorder) Timeline(lanes int, width int) string {
 	for i := range rows {
 		rows[i] = []byte(strings.Repeat(".", width))
 	}
+	// Task types map onto a 62-letter alphabet in first-seen order;
+	// every type past that renders as '?' and is summarized by one
+	// legend line rather than silently reusing the last letter.
+	const alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
 	typeLetter := map[string]byte{}
-	nextLetter := byte('A')
+	assigned, overflow := 0, 0
 	for _, sp := range spans {
 		if sp.Started < 0 || sp.Completed < 0 || sp.Lane >= lanes {
 			continue
 		}
 		letter, ok := typeLetter[sp.TypeName]
 		if !ok {
-			letter = nextLetter
-			typeLetter[sp.TypeName] = letter
-			if nextLetter < 'Z' {
-				nextLetter++
+			if assigned < len(alphabet) {
+				letter = alphabet[assigned]
+				assigned++
+			} else {
+				letter = '?'
+				overflow++
 			}
+			typeLetter[sp.TypeName] = letter
 		}
 		from := int(sp.Started * int64(width) / (maxCycle + 1))
 		to := int(sp.Completed * int64(width) / (maxCycle + 1))
@@ -189,12 +200,17 @@ func (r *Recorder) Timeline(lanes int, width int) string {
 		fmt.Fprintf(&b, "lane %2d |%s|\n", i, row)
 	}
 	var names []string
-	for name := range typeLetter {
-		names = append(names, name)
+	for name, letter := range typeLetter {
+		if letter != '?' {
+			names = append(names, name)
+		}
 	}
 	sort.Strings(names)
 	for _, name := range names {
 		fmt.Fprintf(&b, "  %c = %s\n", typeLetter[name], name)
+	}
+	if overflow > 0 {
+		fmt.Fprintf(&b, "  ? = and %d more task types\n", overflow)
 	}
 	return b.String()
 }

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -93,5 +94,34 @@ func TestTimelineEmpty(t *testing.T) {
 	r := New(0)
 	if !strings.Contains(r.Timeline(2, 10), "no trace") {
 		t.Fatal("empty timeline must say so")
+	}
+}
+
+// TestTimelineAlphabetOverflow pins the legend behavior past the
+// 62-letter alphabet: overflow types render as '?' and the legend
+// summarizes them in one line instead of listing or reusing letters.
+func TestTimelineAlphabetOverflow(t *testing.T) {
+	r := New(0)
+	const types = 65 // 62 letters + 3 overflow
+	for i := 0; i < types; i++ {
+		name := fmt.Sprintf("type%02d", i)
+		key := uint64(i)
+		c := int64(i * 10)
+		r.Record(Event{Cycle: c, Kind: Dispatch, Lane: 0, TaskKey: key, TypeName: name})
+		r.Record(Event{Cycle: c, Kind: Start, Lane: 0, TaskKey: key, TypeName: name})
+		r.Record(Event{Cycle: c + 9, Kind: Complete, Lane: 0, TaskKey: key, TypeName: name})
+	}
+	out := r.Timeline(1, 200)
+	if !strings.Contains(out, "A = type00") || !strings.Contains(out, "9 = type61") {
+		t.Fatalf("full alphabet not assigned in first-seen order:\n%s", out)
+	}
+	if !strings.Contains(out, "? = and 3 more task types") {
+		t.Fatalf("missing overflow legend line:\n%s", out)
+	}
+	if strings.Contains(out, "= type62") || strings.Contains(out, "= type64") {
+		t.Fatalf("overflow types must not get legend entries:\n%s", out)
+	}
+	if !strings.Contains(out, "?") {
+		t.Fatalf("overflow spans must render as '?':\n%s", out)
 	}
 }
