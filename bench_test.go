@@ -1,5 +1,5 @@
 // Package taskstream's root benchmark harness exposes every evaluation
-// experiment (E1–E14, DESIGN.md §5) as a testing.B benchmark. Each
+// experiment (E1–E15, DESIGN.md §5) as a testing.B benchmark. Each
 // bench runs its experiment once per iteration and reports the
 // experiment's headline numbers as custom metrics, so
 //
@@ -106,6 +106,10 @@ func BenchmarkE13_QueueDepth(b *testing.B) {
 
 func BenchmarkE14_Energy(b *testing.B) {
 	benchExperiment(b, experiments.E14Energy)
+}
+
+func BenchmarkE15_Inference(b *testing.B) {
+	benchExperiment(b, experiments.E15Inference)
 }
 
 // benchAll regenerates the entire E-suite once per iteration at the

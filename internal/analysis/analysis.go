@@ -388,6 +388,10 @@ func (a *analyzer) findCycles(edges map[int][]int) {
 // Check family 4: per-phase memory-region analysis — output/output
 // overlap, write/read races, and shared-read coalescing.
 
+// maxAffineRows bounds per-row expansion of strided affine reads; taller
+// shapes fall back to a single conservative hull span.
+const maxAffineRows = 4096
+
 // region is a statically sized [lo, hi) byte range one task port touches.
 type region struct {
 	task, port int
@@ -441,13 +445,32 @@ func (a *analyzer) checkRegions() {
 				}
 			case core.ArgDRAMAffine:
 				if in.Rows > 0 && in.RowLen > 0 {
-					if in.Pitch == in.RowLen {
+					switch {
+					case in.Pitch == in.RowLen:
 						reads[ph] = append(reads[ph], span(ti, pi, in.Base, in.Rows*in.RowLen))
-					} else {
+					case in.Pitch > 0 && in.Rows <= maxAffineRows:
 						for r := 0; r < in.Rows; r++ {
 							base := in.Base + mem.Addr(r*in.Pitch*mem.ElemBytes)
 							reads[ph] = append(reads[ph], span(ti, pi, base, in.RowLen))
 						}
+					default:
+						// Degenerate pitch or a row count too large to
+						// expand: cover the shape with one conservative
+						// hull span. Over-approximate (may report
+						// overlaps the gaps between rows would avoid),
+						// but bounded — a hostile Rows value must not
+						// make the analyzer allocate per row.
+						lastOff := int64(in.Rows-1) * int64(in.Pitch)
+						lo, hi := int64(0), int64(0)
+						if lastOff < 0 {
+							lo = lastOff
+						} else {
+							hi = lastOff
+						}
+						hi += int64(in.RowLen)
+						reads[ph] = append(reads[ph], region{task: ti, port: pi,
+							lo: in.Base + mem.Addr(lo*mem.ElemBytes),
+							hi: in.Base + mem.Addr(hi*mem.ElemBytes)})
 					}
 				}
 			case core.ArgDRAMGather, core.ArgSpadGather:
@@ -493,9 +516,21 @@ func (a *analyzer) checkPhaseOverlaps(writes, reads []region) {
 		return
 	}
 	sort.Slice(writes, func(i, j int) bool { return writes[i].lo < writes[j].lo })
+	// One diagnostic per (port, conflicting task) pair: affine reads
+	// expand to many spans and a port can overlap the same offender
+	// through every one of them, which on adversarial inputs multiplies
+	// into millions of identical reports.
+	type pair struct {
+		task, port, other int
+	}
+	seen := make(map[pair]bool)
 	for i := range writes {
 		for j := i + 1; j < len(writes) && writes[j].lo < writes[i].hi; j++ {
 			w, x := writes[i], writes[j]
+			if seen[pair{x.task, x.port, w.task}] {
+				continue
+			}
+			seen[pair{x.task, x.port, w.task}] = true
 			if w.task == x.task {
 				a.taskDiag(CodeOutputOverlap, Error, w.task, x.port,
 					"output overlaps the same task's out port %d ([%#x,%#x) vs [%#x,%#x))",
@@ -507,6 +542,7 @@ func (a *analyzer) checkPhaseOverlaps(writes, reads []region) {
 			}
 		}
 	}
+	seen = make(map[pair]bool)
 	for _, rd := range reads {
 		// First write that could overlap: the one before the first with
 		// lo >= rd.hi is not enough — binary search the first write whose
@@ -516,9 +552,10 @@ func (a *analyzer) checkPhaseOverlaps(writes, reads []region) {
 		end := sort.Search(len(writes), func(i int) bool { return writes[i].lo >= rd.hi })
 		for i := 0; i < end; i++ {
 			w := writes[i]
-			if w.hi <= rd.lo || w.task == rd.task {
+			if w.hi <= rd.lo || w.task == rd.task || seen[pair{rd.task, rd.port, w.task}] {
 				continue
 			}
+			seen[pair{rd.task, rd.port, w.task}] = true
 			a.taskDiag(CodeWriteRead, Error, rd.task, rd.port,
 				"reads [%#x,%#x), which task %d writes ([%#x,%#x)) in the same phase",
 				uint64(rd.lo), uint64(rd.hi), w.task, uint64(w.lo), uint64(w.hi))

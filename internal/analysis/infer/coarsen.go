@@ -1,0 +1,143 @@
+package infer
+
+import (
+	"fmt"
+
+	"taskstream/internal/core"
+	"taskstream/internal/mem"
+)
+
+// coarsenProgram merges runs of adjacent same-type same-phase tasks
+// whose estimated work falls below Options.CoarsenThreshold —
+// DiscoPoP-style task merging: tiny tasks are dominated by dispatch
+// and configuration overhead, so neighbours are fused until the merged
+// workload estimate reaches the threshold (or the fabric's port budget
+// is spent). A merged group becomes one composite task of a derived
+// "<base>-xK" type whose kernel decodes the member layout from the
+// scalar header and runs the base kernel per member, so results are
+// unchanged. Only plain tasks merge: forward ports, shared marks, and
+// kernel-determined output extents pin a task to its own dispatch.
+func coarsenProgram(p *core.Program, opts Options, patch *Patch) *core.Program {
+	thr := opts.CoarsenThreshold
+	portCap := opts.NumPorts
+	if portCap <= 0 {
+		portCap = 8
+	}
+	const maxGroup = 8
+	types := append([]*core.TaskType(nil), p.Types...)
+	compIdx := make(map[[2]int]int) // {base type, group size} → composite type
+	var out []core.Task
+	for i := 0; i < len(p.Tasks); {
+		t := &p.Tasks[i]
+		if !mergeable(p, t, thr) {
+			out = append(out, p.Tasks[i])
+			i++
+			continue
+		}
+		ins, outs := len(t.Ins), len(t.Outs)
+		work := t.DefaultWorkHint()
+		idxs := []int{i}
+		for j := i + 1; j < len(p.Tasks) && len(idxs) < maxGroup && work < thr; j++ {
+			nx := &p.Tasks[j]
+			if nx.Type != t.Type || nx.Phase != t.Phase || !mergeable(p, nx, thr) ||
+				ins+len(nx.Ins) > portCap || outs+len(nx.Outs) > portCap {
+				break
+			}
+			ins += len(nx.Ins)
+			outs += len(nx.Outs)
+			work += nx.DefaultWorkHint()
+			idxs = append(idxs, j)
+		}
+		if len(idxs) < 2 {
+			out = append(out, p.Tasks[i])
+			i++
+			continue
+		}
+		k := len(idxs)
+		ckey := [2]int{t.Type, k}
+		ci, ok := compIdx[ckey]
+		if !ok {
+			base := types[t.Type]
+			ci = len(types)
+			types = append(types, &core.TaskType{
+				Name:   fmt.Sprintf("%s-x%d", base.Name, k),
+				DFG:    base.DFG, // same mapped graph, fired per member
+				Kernel: compositeKernel(base),
+			})
+			compIdx[ckey] = ci
+		}
+		merged := core.Task{Type: ci, Phase: t.Phase, Key: t.Key}
+		// Scalar header: [K, (nScalars, nIns, nOuts) × K, member scalars...]
+		scal := []uint64{uint64(k)}
+		for _, idx := range idxs {
+			m := &p.Tasks[idx]
+			scal = append(scal, uint64(len(m.Scalars)), uint64(len(m.Ins)), uint64(len(m.Outs)))
+		}
+		for _, idx := range idxs {
+			m := &p.Tasks[idx]
+			scal = append(scal, m.Scalars...)
+			merged.Ins = append(merged.Ins, m.Ins...)
+			merged.Outs = append(merged.Outs, m.Outs...)
+		}
+		merged.Scalars = scal
+		out = append(out, merged)
+		patch.Merges = append(patch.Merges, MergeChange{Type: types[ci].Name, Tasks: idxs})
+		i = idxs[k-1] + 1
+	}
+	q := p.WithTasks(out)
+	q.Types = types
+	return q
+}
+
+// mergeable reports whether a task can join a coarsening group: its
+// work estimate is below the threshold and nothing about it (forward
+// ports, shared marks, kernel-determined extents) requires a dispatch
+// of its own.
+func mergeable(p *core.Program, t *core.Task, thr int64) bool {
+	if t.Type < 0 || t.Type >= len(p.Types) {
+		return false
+	}
+	if t.DefaultWorkHint() >= thr {
+		return false
+	}
+	for _, in := range t.Ins {
+		if in.Kind == core.ArgForwardIn || in.Shared {
+			return false
+		}
+	}
+	for _, o := range t.Outs {
+		if o.Kind == core.OutForward || o.N < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// compositeKernel decodes the member layout written by coarsenProgram
+// and runs the base kernel once per member, splicing each member's
+// scalar/port slices back into the shapes the base kernel expects.
+func compositeKernel(base *core.TaskType) core.KernelFunc {
+	return func(t *core.Task, in [][]uint64, st *mem.Storage) core.Result {
+		k := int(t.Scalars[0])
+		meta := t.Scalars[1 : 1+3*k]
+		scal := t.Scalars[1+3*k:]
+		res := core.Result{Out: make([][]uint64, len(t.Outs))}
+		inOff, outOff, scalOff := 0, 0, 0
+		for m := 0; m < k; m++ {
+			ns, ni, no := int(meta[3*m]), int(meta[3*m+1]), int(meta[3*m+2])
+			sub := core.Task{
+				Type: t.Type, Phase: t.Phase, Key: t.Key,
+				Scalars: scal[scalOff : scalOff+ns],
+				Ins:     t.Ins[inOff : inOff+ni],
+				Outs:    t.Outs[outOff : outOff+no],
+			}
+			r := base.Kernel(&sub, in[inOff:inOff+ni], st)
+			for j := 0; j < no && j < len(r.Out); j++ {
+				res.Out[outOff+j] = r.Out[j]
+			}
+			res.Spawns = append(res.Spawns, r.Spawns...)
+			scalOff, inOff, outOff = scalOff+ns, inOff+ni, outOff+no
+		}
+		return res
+	}
+}

@@ -1,0 +1,66 @@
+package infer_test
+
+import (
+	"reflect"
+	"testing"
+
+	"taskstream/internal/analysis/infer"
+	"taskstream/internal/baseline"
+	"taskstream/internal/config"
+	"taskstream/internal/workload"
+)
+
+// TestCoarsenHist merges the histogram workload's below-threshold
+// block tasks and checks the coarsened program still vets (Infer's
+// gate), still computes the right histogram, and actually got smaller.
+func TestCoarsenHist(t *testing.T) {
+	cfg := config.Default8()
+	hand := workload.Hist(workload.DefaultHist())
+	nTasks := len(hand.Prog.Tasks)
+	stripped := infer.Strip(hand.Prog)
+	opts := infer.Options{
+		NumPorts:         cfg.Fabric.NumPorts,
+		PortWidth:        cfg.Fabric.PortWidth,
+		CoarsenThreshold: 1 << 20,
+	}
+	coarse, patch, err := infer.Infer(stripped, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(patch.Merges) == 0 {
+		t.Fatal("threshold far above every task's work, yet nothing merged")
+	}
+	if len(coarse.Tasks) >= nTasks {
+		t.Errorf("coarsening did not shrink the program: %d -> %d tasks", nTasks, len(coarse.Tasks))
+	}
+	for _, m := range patch.Merges {
+		if len(m.Tasks) < 2 {
+			t.Errorf("merge group %v has fewer than 2 members", m.Tasks)
+		}
+	}
+	// Port budget respected: no merged task may exceed the fabric.
+	for ti := range coarse.Tasks {
+		ct := &coarse.Tasks[ti]
+		if len(ct.Ins) > cfg.Fabric.NumPorts || len(ct.Outs) > cfg.Fabric.NumPorts {
+			t.Errorf("task %d: %d in / %d out ports exceed the fabric's %d",
+				ti, len(ct.Ins), len(ct.Outs), cfg.Fabric.NumPorts)
+		}
+	}
+	// Deterministic under repetition.
+	if _, patch2, err := infer.Infer(stripped, opts); err != nil {
+		t.Fatal(err)
+	} else if !reflect.DeepEqual(patch, patch2) {
+		t.Errorf("coarsening is not deterministic")
+	}
+	if testing.Short() {
+		return
+	}
+	// The composite kernels must reproduce the exact histogram.
+	mcfg, mopts := baseline.Delta.Configure(cfg)
+	if _, err := baseline.RunCfg(mcfg, mopts, coarse, hand.Storage); err != nil {
+		t.Fatalf("coarsened run: %v", err)
+	}
+	if err := hand.Verify(); err != nil {
+		t.Errorf("coarsened program computes wrong results: %v", err)
+	}
+}

@@ -1,0 +1,220 @@
+package infer_test
+
+import (
+	"reflect"
+	"testing"
+
+	"taskstream/internal/analysis/infer"
+	"taskstream/internal/core"
+	"taskstream/internal/fabric"
+	"taskstream/internal/mem"
+)
+
+// chainDFG builds a valid 2-in/1-out DFG with exactly n nodes, so
+// tests can pin the op count the hint model sees.
+func chainDFG(name string, n int) *fabric.DFG {
+	b := fabric.NewBuilder(name, 2, 1)
+	cur := b.Add(fabric.OpAdd, fabric.InPort(0), fabric.InPort(1))
+	for i := 1; i < n; i++ {
+		cur = b.Add(fabric.OpAdd, cur, fabric.InPort(0))
+	}
+	b.Out(0, cur)
+	return b.MustBuild()
+}
+
+func lin(base mem.Addr, n int) core.InArg {
+	return core.InArg{Kind: core.ArgDRAMLinear, Base: base, N: n}
+}
+
+func out(base mem.Addr, n int) core.OutArg {
+	return core.OutArg{Kind: core.OutDRAMLinear, Base: base, N: n}
+}
+
+func mustInfer(t *testing.T, p *core.Program) (*core.Program, *infer.Patch) {
+	t.Helper()
+	q, patch, err := infer.Infer(p, infer.Options{NumPorts: 4, PortWidth: 4})
+	if err != nil {
+		t.Fatalf("Infer(%s): %v", p.Name, err)
+	}
+	return q, patch
+}
+
+func TestInferHints(t *testing.T) {
+	p := &core.Program{
+		Name: "hints",
+		Types: []*core.TaskType{
+			{Name: "wide", DFG: chainDFG("wide", 5)},
+			{Name: "narrow", DFG: chainDFG("narrow", 1)},
+		},
+		NumPhases: 1,
+		Tasks: []core.Task{
+			// 5 ops over 8 elems at width 4 → ceil(40/4) = 10.
+			{Type: 0, Key: 0, Ins: []core.InArg{lin(0x1000, 8)}, Outs: []core.OutArg{out(0x2000, 4)}},
+			// 1 op: model says 2, clamped up to the 8-elem port floor.
+			{Type: 1, Key: 1, Ins: []core.InArg{lin(0x3000, 8)}, Outs: []core.OutArg{out(0x4000, 4)}},
+			// Existing hint is kept, never overwritten.
+			{Type: 1, Key: 2, Ins: []core.InArg{lin(0x5000, 8)}, Outs: []core.OutArg{out(0x6000, 4)}, WorkHint: 3},
+		},
+	}
+	q, patch := mustInfer(t, p)
+	want := []int64{10, 8, 3}
+	for i, w := range want {
+		if got := q.Tasks[i].WorkHint; got != w {
+			t.Errorf("task %d: hint = %d, want %d", i, got, w)
+		}
+	}
+	if len(patch.Hints) != 2 {
+		t.Errorf("patch has %d hint changes, want 2", len(patch.Hints))
+	}
+	if p.Tasks[0].WorkHint != 0 {
+		t.Errorf("Infer mutated its input program")
+	}
+}
+
+func TestInferForwardBasic(t *testing.T) {
+	p := &core.Program{
+		Name:      "fwd",
+		Types:     []*core.TaskType{{Name: "t", DFG: chainDFG("t", 2)}},
+		NumPhases: 2,
+		Tasks: []core.Task{
+			{Type: 0, Key: 0, Phase: 0, Ins: []core.InArg{lin(0x1000, 4)}, Outs: []core.OutArg{out(0x2000, 4)}},
+			{Type: 0, Key: 1, Phase: 1, Ins: []core.InArg{lin(0x2000, 4)}, Outs: []core.OutArg{out(0x3000, 4)}},
+		},
+	}
+	q, patch := mustInfer(t, p)
+	if len(patch.Forwards) != 1 {
+		t.Fatalf("got %d forwards, want 1:\n%s", len(patch.Forwards), patch)
+	}
+	po, ci := q.Tasks[0].Outs[0], q.Tasks[1].Ins[0]
+	if po.Kind != core.OutForward || ci.Kind != core.ArgForwardIn {
+		t.Fatalf("ports not converted: out %v in %v", po.Kind, ci.Kind)
+	}
+	if po.Tag == 0 || po.Tag != ci.Tag {
+		t.Errorf("tag mismatch: producer %d consumer %d", po.Tag, ci.Tag)
+	}
+	if po.Base != 0x2000 || po.N != 4 || ci.Base != 0x2000 || ci.N != 4 {
+		t.Errorf("fallback region not preserved: out %+v in %+v", po, ci)
+	}
+}
+
+// A consumer whose other input reads a region some producer-phase task
+// writes cannot be co-dispatched into that phase: forwarding resolves
+// the consumer's remaining ports eagerly, racing with the write.
+func TestInferForwardUnsafeCoDispatch(t *testing.T) {
+	p := &core.Program{
+		Name: "unsafe",
+		Types: []*core.TaskType{
+			{Name: "p", DFG: chainDFG("p", 2)},
+			{Name: "c", DFG: chainDFG("c", 2)},
+		},
+		NumPhases: 2,
+		Tasks: []core.Task{
+			{Type: 0, Key: 0, Phase: 0, Ins: []core.InArg{lin(0x1000, 4)}, Outs: []core.OutArg{out(0x2000, 4)}},
+			{Type: 0, Key: 1, Phase: 0, Ins: []core.InArg{lin(0x1100, 4)}, Outs: []core.OutArg{out(0x4000, 4)}},
+			{Type: 1, Key: 2, Phase: 1,
+				Ins:  []core.InArg{lin(0x2000, 4), lin(0x4000, 2)}, // 0x4000 read: n differs from the write, no pair — but still racy
+				Outs: []core.OutArg{out(0x5000, 4)}},
+		},
+	}
+	_, patch := mustInfer(t, p)
+	if len(patch.Forwards) != 0 {
+		t.Errorf("got %d forwards, want 0 (consumer's second read races phase-0 writes):\n%s",
+			len(patch.Forwards), patch)
+	}
+}
+
+// Two pending streams into one consumer are delivered as one dispatch
+// group (the mergesort shape), so sibling candidates exempt each other
+// — but if one of them is rejected, the survivor must be rejected too.
+func TestInferForwardSiblings(t *testing.T) {
+	mk := func(prod0Fwd bool) *core.Program {
+		p0 := core.Task{Type: 0, Key: 0, Phase: 0,
+			Ins: []core.InArg{lin(0x1000, 4)}, Outs: []core.OutArg{out(0x2000, 4)}}
+		if prod0Fwd {
+			// Producer already drives a forward stream of its own; its
+			// write to 0x2000 can no longer be converted.
+			p0.Outs = append(p0.Outs, core.OutArg{Kind: core.OutForward, Base: 0x7000, N: 4, Tag: 99})
+		}
+		return &core.Program{
+			Name: "siblings",
+			Types: []*core.TaskType{
+				{Name: "p", DFG: chainDFG("p", 2)},
+				{Name: "c", DFG: chainDFG("c", 2)},
+			},
+			NumPhases: 2,
+			Tasks: []core.Task{
+				p0,
+				{Type: 0, Key: 1, Phase: 0, Ins: []core.InArg{lin(0x1100, 4)}, Outs: []core.OutArg{out(0x3000, 4)}},
+				{Type: 1, Key: 2, Phase: 1,
+					Ins:  []core.InArg{lin(0x2000, 4), lin(0x3000, 4)},
+					Outs: []core.OutArg{out(0x5000, 4)}},
+			},
+		}
+	}
+
+	// Clean case: both streams convert as one dispatch group.
+	_, patch := mustInfer(t, mk(false))
+	if len(patch.Forwards) != 2 {
+		t.Errorf("dual-stream merge: got %d forwards, want 2:\n%s", len(patch.Forwards), patch)
+	}
+
+	// Producer 0 is unavailable → its region stays a plain phase-0
+	// write → the sibling stream must be dropped by the fixpoint.
+	_, patch = mustInfer(t, mk(true))
+	if len(patch.Forwards) != 0 {
+		t.Errorf("cascade: got %d forwards, want 0:\n%s", len(patch.Forwards), patch)
+	}
+}
+
+func TestInferShared(t *testing.T) {
+	p := &core.Program{
+		Name:      "shared",
+		Types:     []*core.TaskType{{Name: "t", DFG: chainDFG("t", 2)}},
+		NumPhases: 1,
+		Tasks: []core.Task{
+			{Type: 0, Key: 0, Ins: []core.InArg{lin(0x1000, 8)}, Outs: []core.OutArg{out(0x2000, 4)}},
+			{Type: 0, Key: 1, Ins: []core.InArg{lin(0x1000, 8)}, Outs: []core.OutArg{out(0x3000, 4)}},
+			// Prefix of the same range: different (base, n), no coalesce.
+			{Type: 0, Key: 2, Ins: []core.InArg{lin(0x1000, 4)}, Outs: []core.OutArg{out(0x4000, 4)}},
+		},
+	}
+	q, patch := mustInfer(t, p)
+	if len(patch.Shared) != 2 {
+		t.Fatalf("got %d shared marks, want 2:\n%s", len(patch.Shared), patch)
+	}
+	if !q.Tasks[0].Ins[0].Shared || !q.Tasks[1].Ins[0].Shared || q.Tasks[2].Ins[0].Shared {
+		t.Errorf("wrong endpoints marked: %v %v %v",
+			q.Tasks[0].Ins[0].Shared, q.Tasks[1].Ins[0].Shared, q.Tasks[2].Ins[0].Shared)
+	}
+}
+
+func TestInferDeterministic(t *testing.T) {
+	p := &core.Program{
+		Name:      "det",
+		Types:     []*core.TaskType{{Name: "t", DFG: chainDFG("t", 3)}},
+		NumPhases: 2,
+		Tasks: []core.Task{
+			{Type: 0, Key: 0, Phase: 0, Ins: []core.InArg{lin(0x1000, 4)}, Outs: []core.OutArg{out(0x2000, 4)}},
+			{Type: 0, Key: 1, Phase: 0, Ins: []core.InArg{lin(0x1100, 4)}, Outs: []core.OutArg{out(0x2100, 4)}},
+			{Type: 0, Key: 2, Phase: 1, Ins: []core.InArg{lin(0x2000, 4)}, Outs: []core.OutArg{out(0x3000, 4)}},
+			{Type: 0, Key: 3, Phase: 1, Ins: []core.InArg{lin(0x2100, 4)}, Outs: []core.OutArg{out(0x3100, 4)}},
+		},
+	}
+	q1, patch1 := mustInfer(t, p)
+	q2, patch2 := mustInfer(t, p)
+	if !reflect.DeepEqual(patch1, patch2) {
+		t.Errorf("patches differ across runs:\n%s\nvs\n%s", patch1, patch2)
+	}
+	if !reflect.DeepEqual(q1.Tasks, q2.Tasks) {
+		t.Errorf("annotated task lists differ across runs")
+	}
+	// Fresh tags start above the existing watermark.
+	if got := core.MaxTag(p.Tasks); got != 0 {
+		t.Fatalf("test program unexpectedly carries tags (max %d)", got)
+	}
+	for i, f := range patch1.Forwards {
+		if f.Tag != uint64(i+1) {
+			t.Errorf("forward %d: tag %d, want %d (sequential from watermark)", i, f.Tag, i+1)
+		}
+	}
+}

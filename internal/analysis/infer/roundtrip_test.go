@@ -1,0 +1,138 @@
+package infer_test
+
+import (
+	"reflect"
+	"testing"
+
+	"taskstream/internal/analysis"
+	"taskstream/internal/analysis/infer"
+	"taskstream/internal/baseline"
+	"taskstream/internal/config"
+	"taskstream/internal/core"
+	"taskstream/internal/workload"
+)
+
+// wantExact are the suite workloads whose annotations inference
+// recovers exactly: hints land on the hand value (the DFG op model
+// meets or the port floor clamps to it), every forward pair and shared
+// mark is found, and nothing spurious is added — so the simulated
+// schedule must be identical to the hand-annotated run.
+var wantExact = map[string]bool{
+	"spmv": true, "sort": true, "gemm": true, "stencil": true, "hist": true,
+}
+
+// TestStripInferRoundTrip strips every suite workload, re-infers its
+// annotations, and checks: the stripped program vets clean, the
+// inferred program vets with zero errors, inference is deterministic,
+// precision/recall against the hand annotations is perfect on the
+// suite, and (unless -short) the inferred program still computes
+// correct results — with a cycle-identical schedule where recovery is
+// exact.
+func TestStripInferRoundTrip(t *testing.T) {
+	cfg := config.Default8()
+	vetOpts := analysis.Options{NumPorts: cfg.Fabric.NumPorts}
+	inferOpts := infer.Options{NumPorts: cfg.Fabric.NumPorts, PortWidth: cfg.Fabric.PortWidth}
+	var agg infer.Accuracy
+	for _, nb := range workload.Suite() {
+		nb := nb
+		t.Run(nb.Name, func(t *testing.T) {
+			hand := nb.Build()
+			stripped := infer.Strip(hand.Prog)
+			if rep := analysis.AnalyzeOpts(stripped, vetOpts); rep.Errors() > 0 {
+				t.Fatalf("stripped program has vet errors:\n%s", rep)
+			}
+			inferred, patch, err := infer.Infer(stripped, inferOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep := analysis.AnalyzeOpts(inferred, vetOpts); rep.Errors() > 0 {
+				t.Fatalf("inferred program has vet errors:\n%s", rep)
+			}
+			if _, patch2, err := infer.Infer(stripped, inferOpts); err != nil {
+				t.Fatal(err)
+			} else if !reflect.DeepEqual(patch, patch2) {
+				t.Errorf("inference is not deterministic:\n%s\nvs\n%s", patch, patch2)
+			}
+			acc, err := infer.Compare(hand.Prog, inferred)
+			if err != nil {
+				t.Fatal(err)
+			}
+			agg.Add(acc)
+			if acc.Forwards.FP > 0 || acc.Shared.FP > 0 {
+				t.Errorf("false positives against hand annotations: forwards %+v shared %+v",
+					acc.Forwards, acc.Shared)
+			}
+			if wantExact[nb.Name] && !acc.Exact() {
+				t.Errorf("expected exact recovery, got forwards %+v shared %+v hints %d/%d:\n%s",
+					acc.Forwards, acc.Shared, acc.HintsExact, acc.HintsTotal, patch)
+			}
+			if testing.Short() {
+				return
+			}
+
+			// Run both under the full Delta machine: the inferred program
+			// must compute correct results, and where every annotation was
+			// recovered exactly the schedule must be cycle-identical.
+			mcfg, mopts := baseline.Delta.Configure(cfg)
+			handRep, err := baseline.RunCfg(mcfg, mopts, hand.Prog, hand.Storage)
+			if err != nil {
+				t.Fatalf("hand run: %v", err)
+			}
+			w2 := nb.Build()
+			inferred2, _, err := infer.Infer(infer.Strip(w2.Prog), inferOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			infRep, err := baseline.RunCfg(mcfg, mopts, inferred2, w2.Storage)
+			if err != nil {
+				t.Fatalf("inferred run: %v", err)
+			}
+			if err := w2.Verify(); err != nil {
+				t.Errorf("inferred program computes wrong results: %v", err)
+			}
+			if acc.Exact() {
+				if infRep.Cycles != handRep.Cycles {
+					t.Errorf("exact recovery but cycles differ: hand %d inferred %d",
+						handRep.Cycles, infRep.Cycles)
+				}
+				if !reflect.DeepEqual(infRep.LaneBusy, handRep.LaneBusy) {
+					t.Errorf("exact recovery but per-lane busy cycles differ")
+				}
+			}
+		})
+	}
+	if p, r := agg.Forwards.Precision(), agg.Forwards.Recall(); p < 1.0 || r < 1.0 {
+		t.Errorf("suite forward P/R = %.3f/%.3f, want 1.0/1.0 (%+v)", p, r, agg.Forwards)
+	}
+	if p, r := agg.Shared.Precision(), agg.Shared.Recall(); p < 1.0 || r < 1.0 {
+		t.Errorf("suite shared P/R = %.3f/%.3f, want 1.0/1.0 (%+v)", p, r, agg.Shared)
+	}
+}
+
+// TestStrip checks Strip erases every annotation kind and leaves the
+// original program untouched.
+func TestStrip(t *testing.T) {
+	hand := workload.MergeSort(workload.DefaultSort())
+	s := infer.Strip(hand.Prog)
+	for ti := range s.Tasks {
+		st := &s.Tasks[ti]
+		if st.WorkHint != 0 {
+			t.Fatalf("task %d: WorkHint %d survived Strip", ti, st.WorkHint)
+		}
+		if tag := st.ProducesTag(); tag != 0 {
+			t.Fatalf("task %d: forward out tag %d survived Strip", ti, tag)
+		}
+		if tag := st.ConsumesTag(); tag != 0 {
+			t.Fatalf("task %d: forward in tag %d survived Strip", ti, tag)
+		}
+		for pi := range st.Ins {
+			if st.Ins[pi].Shared {
+				t.Fatalf("task %d port %d: Shared survived Strip", ti, pi)
+			}
+		}
+	}
+	// The original is untouched (Strip deep-copies).
+	if core.MaxTag(hand.Prog.Tasks) == 0 {
+		t.Fatal("Strip mutated the hand-annotated original")
+	}
+}

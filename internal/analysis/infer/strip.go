@@ -1,0 +1,34 @@
+package infer
+
+import "taskstream/internal/core"
+
+// Strip returns a copy of p with every annotation erased: work hints
+// zeroed, forward tags lowered to their memory fallbacks (OutForward →
+// OutDRAMLinear, ArgForwardIn → ArgDRAMLinear, tags cleared), and
+// shared-read marks dropped. The result computes the same values —
+// forwards always have a memory fallback, so lowering a tagged pair to
+// a plain cross-phase write→read preserves semantics — and is the
+// ground-truth input for measuring what Infer recovers.
+func Strip(p *core.Program) *core.Program {
+	tasks := core.CloneTasks(p.Tasks)
+	for ti := range tasks {
+		t := &tasks[ti]
+		t.WorkHint = 0
+		for pi := range t.Ins {
+			in := &t.Ins[pi]
+			in.Shared = false
+			if in.Kind == core.ArgForwardIn {
+				in.Kind = core.ArgDRAMLinear
+				in.Tag = 0
+			}
+		}
+		for pi := range t.Outs {
+			o := &t.Outs[pi]
+			if o.Kind == core.OutForward {
+				o.Kind = core.OutDRAMLinear
+				o.Tag = 0
+			}
+		}
+	}
+	return p.WithTasks(tasks)
+}

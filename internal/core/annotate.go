@@ -1,0 +1,56 @@
+package core
+
+// Annotation plumbing shared by passes that rewrite task lists (the
+// delta-infer synthesizer, annotation sweeps). A Program's Types are
+// immutable descriptions and safe to alias; Tasks carry the mutable
+// annotations, so rewriting passes deep-copy them first.
+
+// CloneTasks returns a deep copy of tasks: Scalars, Ins, and Outs are
+// fresh slices, so the copy can be re-annotated without aliasing the
+// original program.
+func CloneTasks(tasks []Task) []Task {
+	out := make([]Task, len(tasks))
+	for i := range tasks {
+		t := tasks[i]
+		if t.Scalars != nil {
+			t.Scalars = append([]uint64(nil), t.Scalars...)
+		}
+		if t.Ins != nil {
+			t.Ins = append([]InArg(nil), t.Ins...)
+		}
+		if t.Outs != nil {
+			t.Outs = append([]OutArg(nil), t.Outs...)
+		}
+		out[i] = t
+	}
+	return out
+}
+
+// WithTasks returns a shallow copy of p carrying the given task list.
+// Types and NumPhases are shared with the receiver.
+func (p *Program) WithTasks(tasks []Task) *Program {
+	q := *p
+	q.Tasks = tasks
+	return &q
+}
+
+// MaxTag returns the highest forward tag any task produces or consumes
+// (0 when no task carries one) — the watermark above which fresh tags
+// are collision-free.
+func MaxTag(tasks []Task) uint64 {
+	var max uint64
+	for i := range tasks {
+		t := &tasks[i]
+		for _, o := range t.Outs {
+			if o.Kind == OutForward && o.Tag > max {
+				max = o.Tag
+			}
+		}
+		for _, in := range t.Ins {
+			if in.Kind == ArgForwardIn && in.Tag > max {
+				max = in.Tag
+			}
+		}
+	}
+	return max
+}

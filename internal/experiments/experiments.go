@@ -1,5 +1,5 @@
 // Package experiments regenerates every table and figure of the
-// evaluation (DESIGN.md §5, E1–E14). Each experiment is a function
+// evaluation (DESIGN.md §5, E1–E15). Each experiment is a function
 // returning rendered tables plus machine-readable metrics; the
 // delta-bench command prints them and bench_test.go exposes them as
 // benchmarks. Every simulation an experiment needs is expressed as a
@@ -611,6 +611,7 @@ func Registry() []Named {
 		{"E12", E12Hints},
 		{"E13", E13QueueDepth},
 		{"E14", E14Energy},
+		{"E15", E15Inference},
 	}
 }
 

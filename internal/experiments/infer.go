@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+
+	"taskstream/internal/analysis/infer"
+	"taskstream/internal/baseline"
+	"taskstream/internal/config"
+	"taskstream/internal/runplan"
+	"taskstream/internal/stats"
+	"taskstream/internal/workload"
+)
+
+// inferredBuilder wraps nb so Build yields the workload with its hand
+// annotations stripped and re-synthesized by delta-infer. The
+// "+inferred" suffix keeps the runplan identity distinct from the
+// hand-annotated variant, and because inference is deterministic the
+// name still canonically determines what Build constructs — the cache
+// contract Spec requires. Inference over the whole suite is proven
+// clean by the round-trip tests, so a failure here is a programming
+// error; Build has no error path, hence the panic.
+func inferredBuilder(nb workload.NamedBuilder, iopts infer.Options) workload.NamedBuilder {
+	return workload.NamedBuilder{
+		Name: nb.Name + "+inferred",
+		Build: func() *workload.Workload {
+			w := nb.Build()
+			p, _, err := infer.Infer(infer.Strip(w.Prog), iopts)
+			if err != nil {
+				panic(fmt.Sprintf("E15: inference failed on suite workload %s: %v", nb.Name, err))
+			}
+			w.Prog = p
+			return w
+		},
+	}
+}
+
+// E15Inference measures how much of the hand-annotated Delta speedup
+// over static delta-infer recovers from stripped programs. For each
+// suite workload it runs static, hand-annotated Delta, and
+// inferred-annotation Delta, then reports the recovered fraction
+// (spInferred-1)/(spHand-1) — "n/a" where the hand annotations buy
+// nothing to begin with — alongside per-kind precision/recall against
+// the hand annotations. The static and hand-Delta runs are the same
+// specs E3/E5/E9/E14 share, so only the inferred variants simulate
+// anew here.
+func E15Inference() (Result, error) {
+	cfg := config.Default8()
+	suite := workload.Suite()
+	iopts := infer.Options{NumPorts: cfg.Fabric.NumPorts, PortWidth: cfg.Fabric.PortWidth}
+
+	// Per-workload accuracy against the hand annotations; no
+	// simulation needed, just a second deterministic inference run.
+	accs := make([]infer.Accuracy, len(suite))
+	var agg infer.Accuracy
+	for i, nb := range suite {
+		hand := nb.Build()
+		inferred, _, err := infer.Infer(infer.Strip(hand.Prog), iopts)
+		if err != nil {
+			return Result{}, fmt.Errorf("infer %s: %w", nb.Name, err)
+		}
+		acc, err := infer.Compare(hand.Prog, inferred)
+		if err != nil {
+			return Result{}, fmt.Errorf("compare %s: %w", nb.Name, err)
+		}
+		accs[i] = acc
+		agg.Add(acc)
+	}
+
+	static, delta, err := suitePairs(suite, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	infSpecs := make([]runplan.Spec, len(suite))
+	for i, nb := range suite {
+		infSpecs[i] = runplan.ForVariant(inferredBuilder(nb, iopts), baseline.Delta, cfg)
+	}
+	infReps, err := runSpecs(infSpecs)
+	if err != nil {
+		return Result{}, err
+	}
+
+	tb := newTable("E15: annotation inference — speedup recovery (8 lanes)",
+		"workload", "static cyc", "hand cyc", "inferred cyc", "hand", "inferred", "recovered")
+	recSum, recN := 0.0, 0
+	for i, nb := range suite {
+		spHand := stats.Speedup(static[i].Cycles, delta[i].Cycles)
+		spInf := stats.Speedup(static[i].Cycles, infReps[i].Cycles)
+		rec := "n/a"
+		// Below one percent of hand speedup the recovered fraction is
+		// numerically meaningless — annotations bought nothing.
+		if spHand-1 > 0.01 {
+			r := (spInf - 1) / (spHand - 1)
+			recSum += r
+			recN++
+			rec = stats.Pct(r)
+		}
+		tb.row(nb.Name, stats.I(static[i].Cycles), stats.I(delta[i].Cycles), stats.I(infReps[i].Cycles),
+			stats.Fx(spHand), stats.Fx(spInf), rec)
+	}
+	meanRec := 0.0
+	if recN > 0 {
+		meanRec = recSum / float64(recN)
+	}
+	tb.row("mean", "", "", "", "", "", stats.Pct(meanRec))
+
+	ta := newTable("E15: per-kind inference accuracy vs hand annotations",
+		"workload", "fwd P", "fwd R", "shared P", "shared R", "hints exact")
+	for i, nb := range suite {
+		a := accs[i]
+		ta.row(nb.Name, stats.F(a.Forwards.Precision()), stats.F(a.Forwards.Recall()),
+			stats.F(a.Shared.Precision()), stats.F(a.Shared.Recall()),
+			fmt.Sprintf("%d/%d", a.HintsExact, a.HintsTotal))
+	}
+	ta.row("aggregate", stats.F(agg.Forwards.Precision()), stats.F(agg.Forwards.Recall()),
+		stats.F(agg.Shared.Precision()), stats.F(agg.Shared.Recall()),
+		fmt.Sprintf("%d/%d", agg.HintsExact, agg.HintsTotal))
+
+	tables, err := buildAll(tb, ta)
+	if err != nil {
+		return Result{}, err
+	}
+	hintFrac := 0.0
+	if agg.HintsTotal > 0 {
+		hintFrac = float64(agg.HintsExact) / float64(agg.HintsTotal)
+	}
+	return Result{ID: "E15", Title: "Annotation inference",
+		Tables: tables,
+		Metrics: map[string]float64{
+			"mean_recovered":    meanRec,
+			"forward_precision": agg.Forwards.Precision(),
+			"forward_recall":    agg.Forwards.Recall(),
+			"shared_precision":  agg.Shared.Precision(),
+			"shared_recall":     agg.Shared.Recall(),
+			"hint_exact_frac":   hintFrac,
+		}}, nil
+}
