@@ -18,6 +18,13 @@
 //	delta-bench -only E3,E4
 //	delta-bench -json bench.json                 # also dump {id,title,metrics}
 //	delta-bench -only E6 -cpuprofile cpu.pprof   # profile the hot loop
+//	delta-bench -server http://localhost:8177    # resolve runs via delta-serve
+//
+// With -server, every simulation resolves through a delta-serve
+// daemon instead of executing in-process: a warm daemon answers the
+// whole suite from its content-addressed store at memory speed, and
+// stdout stays byte-identical to a local run (the client-side cache
+// tally goes to stderr).
 package main
 
 import (
@@ -35,6 +42,7 @@ import (
 	"taskstream/internal/obs"
 	"taskstream/internal/parallel"
 	"taskstream/internal/runplan"
+	"taskstream/internal/store"
 )
 
 func main() {
@@ -43,12 +51,23 @@ func main() {
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulations (1 = serial)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
+	server := flag.String("server", "", "resolve simulations through the delta-serve daemon at this URL")
 	flag.Parse()
 	if *jobs < 1 {
 		fmt.Fprintf(os.Stderr, "delta-bench: -j must be >= 1 (got %d)\n", *jobs)
 		os.Exit(1)
 	}
 	experiments.SetWorkers(*jobs)
+
+	var client *store.Client
+	if *server != "" {
+		client = store.NewClient(*server)
+		if err := client.WaitReady(10 * time.Second); err != nil {
+			fmt.Fprintf(os.Stderr, "delta-bench: -server: %v\n", err)
+			os.Exit(1)
+		}
+		experiments.SetResolver(client.Resolve)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -115,11 +134,15 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	cacheState := "on"
-	if runplan.Shared.Disabled() {
-		cacheState = "off"
+	if client != nil {
+		fmt.Fprintf(os.Stderr, "[server %s: %s]\n", *server, client.CountsLine())
+	} else {
+		cacheState := "on"
+		if runplan.Shared.Disabled() {
+			cacheState = "off"
+		}
+		fmt.Fprintf(os.Stderr, "[run cache %s: %s]\n", cacheState, runplan.Shared.Counters())
 	}
-	fmt.Fprintf(os.Stderr, "[run cache %s: %s]\n", cacheState, runplan.Shared.Counters())
 	if !obs.Global.Empty() {
 		// Fast-forward cycle accounting (TASKSTREAM_FF_DEBUG), routed
 		// through the process-wide observability registry.

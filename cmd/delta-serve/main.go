@@ -1,0 +1,94 @@
+// delta-serve is the persistent simulation service: an HTTP/JSON
+// daemon that accepts runplan Specs and resolves them through the
+// memoizing single-flight runner, layered over a disk-backed
+// content-addressed store — so a warm daemon answers a repeat suite
+// at memory speed, survives restarts with a warm disk cache, and
+// charges N concurrent clients asking for the same uncached spec
+// exactly one simulation (DESIGN.md §15).
+//
+// API (see internal/store/protocol.go):
+//
+//	POST /v1/run    one spec → report + {cached: memory|disk|dedup|miss}
+//	POST /v1/suite  batch → streamed per-spec JSON lines, completion order
+//	GET  /v1/stats  runner counters + store size/accounting
+//
+// Usage:
+//
+//	delta-serve                          # :8177, ./delta-store, unbounded
+//	delta-serve -addr :9000 -store /var/cache/delta -store-max-mb 512
+//	delta-serve -store ""                # memory-only (no persistence)
+//	delta-bench -server http://localhost:8177   # run the suite through it
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+
+	"taskstream/internal/runplan"
+	"taskstream/internal/store"
+)
+
+func main() {
+	addr := flag.String("addr", ":8177", "listen address")
+	storeDir := flag.String("store", "delta-store", "disk store directory; empty = memory-only")
+	storeMaxMB := flag.Int64("store-max-mb", 0, "disk store size bound in MiB (0 = unbounded)")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulations")
+	flag.Parse()
+	if *jobs < 1 {
+		fmt.Fprintf(os.Stderr, "delta-serve: -j must be >= 1 (got %d)\n", *jobs)
+		os.Exit(1)
+	}
+	if *storeMaxMB < 0 {
+		fmt.Fprintf(os.Stderr, "delta-serve: -store-max-mb must be >= 0 (got %d)\n", *storeMaxMB)
+		os.Exit(1)
+	}
+
+	// The daemon owns its runner rather than sharing the process-wide
+	// one: delta-serve is the only spec source in this process, and an
+	// isolated runner keeps its counters meaningful for /v1/stats.
+	runner := runplan.NewRunner()
+	runner.SetDisabled(false)
+
+	var disk *store.DiskStore
+	if *storeDir != "" {
+		var err error
+		disk, err = store.Open(*storeDir, *storeMaxMB<<20)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "delta-serve: %v\n", err)
+			os.Exit(1)
+		}
+		st := disk.Stats()
+		fmt.Fprintf(os.Stderr, "delta-serve: store %s: %d entries, %d bytes\n",
+			*storeDir, st.Entries, st.Bytes)
+	} else {
+		fmt.Fprintln(os.Stderr, "delta-serve: memory-only (no -store directory)")
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "delta-serve: %v\n", err)
+		os.Exit(1)
+	}
+	srv := &http.Server{Handler: store.NewServer(runner, disk, *jobs)}
+	fmt.Fprintf(os.Stderr, "delta-serve: listening on %s (-j %d)\n", ln.Addr(), *jobs)
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		fmt.Fprintf(os.Stderr, "delta-serve: %v\n", err)
+		os.Exit(1)
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "delta-serve: %v: shutting down (%s)\n", s, runner.Counters())
+		srv.Close()
+	}
+}

@@ -1,0 +1,58 @@
+package infer
+
+import (
+	"fmt"
+	"strings"
+
+	"taskstream/internal/config"
+	"taskstream/internal/workload"
+)
+
+// Builder wraps nb so Build yields the workload with its hand
+// annotations stripped and re-synthesized by delta-infer. The
+// "+inferred" suffix keeps the runplan identity distinct from the
+// hand-annotated variant, and because inference is deterministic the
+// name still canonically determines what Build constructs — the cache
+// contract runplan.Spec requires. Inference over the whole suite is
+// proven clean by the round-trip tests, so a failure here is a
+// programming error; Build has no error path, hence the panic (the
+// runner converts it into a request-scoped error).
+func Builder(nb workload.NamedBuilder, opts Options) workload.NamedBuilder {
+	return workload.NamedBuilder{
+		Name: nb.Name + "+inferred",
+		Build: func() *workload.Workload {
+			w := nb.Build()
+			p, _, err := Infer(Strip(w.Prog), opts)
+			if err != nil {
+				panic(fmt.Sprintf("infer: inference failed on workload %s: %v", nb.Name, err))
+			}
+			w.Prog = p
+			return w
+		},
+	}
+}
+
+// DefaultOptions returns the inference options every "+inferred" suite
+// spec uses: the reference machine's fabric port geometry
+// (config.Default8), matching the E15 experiment.
+func DefaultOptions() Options {
+	cfg := config.Default8()
+	return Options{NumPorts: cfg.Fabric.NumPorts, PortWidth: cfg.Fabric.PortWidth}
+}
+
+// The "+inferred" name grammar resolves through Builder with the
+// default options, so a delta-serve daemon can rebuild E15's inferred
+// specs from their wire names.
+func init() {
+	workload.RegisterResolver(func(name string) (workload.NamedBuilder, bool) {
+		base, ok := strings.CutSuffix(name, "+inferred")
+		if !ok || base == "" {
+			return workload.NamedBuilder{}, false
+		}
+		inner, err := workload.Resolve(base)
+		if err != nil {
+			return workload.NamedBuilder{}, false
+		}
+		return Builder(inner, DefaultOptions()), true
+	})
+}

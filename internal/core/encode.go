@@ -1,0 +1,41 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"taskstream/internal/stats"
+)
+
+// wireReport is Report's serialized form. Every field is explicit so
+// the encoding is a contract, not an accident of struct layout; the
+// stats set serializes as an order-preserving pair array
+// (stats.Set.MarshalJSON), so equal reports encode to identical bytes
+// — the property the content-addressed store's integrity re-hash
+// depends on.
+type wireReport struct {
+	Cycles   int64      `json:"cycles"`
+	LaneBusy []int64    `json:"lane_busy"`
+	Stats    *stats.Set `json:"stats"`
+}
+
+// EncodeReport serializes the report into its stable wire form.
+// Encoding is deterministic: encoding the same report (or a Clone of
+// it) always yields the same bytes.
+func EncodeReport(r Report) ([]byte, error) {
+	return json.Marshal(wireReport{
+		Cycles:   r.Cycles,
+		LaneBusy: r.LaneBusy,
+		Stats:    r.Stats,
+	})
+}
+
+// DecodeReport parses bytes produced by EncodeReport. The result is
+// fully owned by the caller (no aliasing into b).
+func DecodeReport(b []byte) (Report, error) {
+	var w wireReport
+	if err := json.Unmarshal(b, &w); err != nil {
+		return Report{}, fmt.Errorf("core: decode report: %w", err)
+	}
+	return Report{Cycles: w.Cycles, LaneBusy: w.LaneBusy, Stats: w.Stats}, nil
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"taskstream/internal/stats"
+)
+
+func sampleReport() Report {
+	set := stats.NewSet()
+	set.Add("tasks_run", 42)
+	set.Add("dram_bytes", 1<<20)
+	set.Add("noc_flit_cycles", 7)
+	return Report{Cycles: 123456, LaneBusy: []int64{10, 20, 30, 0}, Stats: set}
+}
+
+func TestEncodeReportRoundTrip(t *testing.T) {
+	r := sampleReport()
+	b, err := EncodeReport(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeReport(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cycles != r.Cycles {
+		t.Fatalf("cycles %d != %d", got.Cycles, r.Cycles)
+	}
+	if len(got.LaneBusy) != len(r.LaneBusy) {
+		t.Fatalf("lane busy %v != %v", got.LaneBusy, r.LaneBusy)
+	}
+	for i := range r.LaneBusy {
+		if got.LaneBusy[i] != r.LaneBusy[i] {
+			t.Fatalf("lane busy %v != %v", got.LaneBusy, r.LaneBusy)
+		}
+	}
+	// Counter order must survive — it is part of the byte-identity
+	// contract for rendered tables.
+	wantNames := r.Stats.Names()
+	gotNames := got.Stats.Names()
+	if len(gotNames) != len(wantNames) {
+		t.Fatalf("stats names %v != %v", gotNames, wantNames)
+	}
+	for i := range wantNames {
+		if gotNames[i] != wantNames[i] || got.Stats.Get(gotNames[i]) != r.Stats.Get(wantNames[i]) {
+			t.Fatalf("stats mismatch at %d: %v vs %v", i, gotNames, wantNames)
+		}
+	}
+}
+
+func TestEncodeReportDeterministic(t *testing.T) {
+	r := sampleReport()
+	a, err := EncodeReport(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EncodeReport(r.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("encoding a report and its clone differ:\n%s\n%s", a, b)
+	}
+	// And a decode→re-encode cycle is byte-stable, which is what the
+	// disk store's integrity re-hash relies on.
+	dec, err := DecodeReport(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := EncodeReport(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, c) {
+		t.Fatalf("decode→encode not byte-stable:\n%s\n%s", a, c)
+	}
+}
+
+func TestEncodeReportNilStats(t *testing.T) {
+	b, err := EncodeReport(Report{Cycles: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeReport(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats != nil {
+		t.Fatalf("nil stats decoded as %v", got.Stats)
+	}
+}

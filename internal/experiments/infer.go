@@ -11,29 +11,6 @@ import (
 	"taskstream/internal/workload"
 )
 
-// inferredBuilder wraps nb so Build yields the workload with its hand
-// annotations stripped and re-synthesized by delta-infer. The
-// "+inferred" suffix keeps the runplan identity distinct from the
-// hand-annotated variant, and because inference is deterministic the
-// name still canonically determines what Build constructs — the cache
-// contract Spec requires. Inference over the whole suite is proven
-// clean by the round-trip tests, so a failure here is a programming
-// error; Build has no error path, hence the panic.
-func inferredBuilder(nb workload.NamedBuilder, iopts infer.Options) workload.NamedBuilder {
-	return workload.NamedBuilder{
-		Name: nb.Name + "+inferred",
-		Build: func() *workload.Workload {
-			w := nb.Build()
-			p, _, err := infer.Infer(infer.Strip(w.Prog), iopts)
-			if err != nil {
-				panic(fmt.Sprintf("E15: inference failed on suite workload %s: %v", nb.Name, err))
-			}
-			w.Prog = p
-			return w
-		},
-	}
-}
-
 // E15Inference measures how much of the hand-annotated Delta speedup
 // over static delta-infer recovers from stripped programs. For each
 // suite workload it runs static, hand-annotated Delta, and
@@ -46,7 +23,9 @@ func inferredBuilder(nb workload.NamedBuilder, iopts infer.Options) workload.Nam
 func E15Inference() (Result, error) {
 	cfg := config.Default8()
 	suite := workload.Suite()
-	iopts := infer.Options{NumPorts: cfg.Fabric.NumPorts, PortWidth: cfg.Fabric.PortWidth}
+	// The same options infer.Builder's "+inferred" name grammar
+	// resolves with, so E15's specs stay wire-resolvable by name.
+	iopts := infer.DefaultOptions()
 
 	// Per-workload accuracy against the hand annotations; no
 	// simulation needed, just a second deterministic inference run.
@@ -72,7 +51,7 @@ func E15Inference() (Result, error) {
 	}
 	infSpecs := make([]runplan.Spec, len(suite))
 	for i, nb := range suite {
-		infSpecs[i] = runplan.ForVariant(inferredBuilder(nb, iopts), baseline.Delta, cfg)
+		infSpecs[i] = runplan.ForVariant(infer.Builder(nb, iopts), baseline.Delta, cfg)
 	}
 	infReps, err := runSpecs(infSpecs)
 	if err != nil {

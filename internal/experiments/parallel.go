@@ -17,7 +17,29 @@ import (
 var (
 	workersMu sync.RWMutex
 	simLim    = parallel.NewLimiter(1)
+	resolver  func(runplan.Spec) (core.Report, error)
 )
+
+// SetResolver replaces how the harness resolves a spec into a report;
+// nil restores the default (the shared in-process runner). delta-bench
+// -server installs a remote resolver here, pointing every experiment's
+// simulations at a delta-serve daemon. Not safe to call while
+// experiments are running.
+func SetResolver(r func(runplan.Spec) (core.Report, error)) {
+	workersMu.Lock()
+	defer workersMu.Unlock()
+	resolver = r
+}
+
+func resolve(s runplan.Spec) (core.Report, error) {
+	workersMu.RLock()
+	r := resolver
+	workersMu.RUnlock()
+	if r != nil {
+		return r(s)
+	}
+	return runplan.Shared.Run(s)
+}
 
 // SetWorkers caps concurrent simulations harness-wide; n <= 0 means
 // one worker per CPU, and 1 (the default) preserves strictly serial
@@ -50,5 +72,5 @@ func limiter() *parallel.Limiter {
 // than occupying a second simulation slot with identical work.
 func runSpecs(specs []runplan.Spec) ([]core.Report, error) {
 	return parallel.MapLimited(limiter(), specs,
-		func(_ int, s runplan.Spec) (core.Report, error) { return runplan.Shared.Run(s) })
+		func(_ int, s runplan.Spec) (core.Report, error) { return resolve(s) })
 }

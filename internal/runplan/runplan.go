@@ -10,6 +10,11 @@
 // experiment can mutate another's input. The experiment harness
 // resolves all of its runs through the shared Runner, which is what
 // eliminates the suite's duplicated full-suite sweeps (DESIGN.md §12).
+//
+// A Runner can also be layered over a second-level Store (SetStore) —
+// a persistent, typically disk-backed cache keyed by the same content
+// addresses — which is how delta-serve survives restarts with a warm
+// cache (DESIGN.md §15, internal/store).
 package runplan
 
 import (
@@ -58,17 +63,80 @@ func (s Spec) Key() string {
 func (s Spec) Cacheable() bool { return s.Opts.Cacheable() }
 
 // execute runs the spec from scratch and verifies the workload's
-// results — the uncached path every cache entry is filled from.
-func (s Spec) execute() (core.Report, error) {
+// results — the uncached path every cache entry is filled from. A
+// panic anywhere in the workload builder or the simulation is
+// converted into an error: the runner serves arbitrary (possibly
+// inferred, possibly hostile) specs from a long-lived daemon, where
+// one bad program must fail its request, not the process — and must
+// never leave single-flight waiters parked on a flight that will
+// never complete.
+func (s Spec) execute() (rep core.Report, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			rep = core.Report{}
+			err = fmt.Errorf("%s: panic during execution: %v", s.Workload.Name, p)
+		}
+	}()
 	w := s.Workload.Build()
-	rep, err := baseline.RunCfg(s.Config, s.Opts, w.Prog, w.Storage)
-	if err != nil {
-		return core.Report{}, fmt.Errorf("%s: %w", s.Workload.Name, err)
+	rep, rerr := baseline.RunCfg(s.Config, s.Opts, w.Prog, w.Storage)
+	if rerr != nil {
+		return core.Report{}, fmt.Errorf("%s: %w", s.Workload.Name, rerr)
 	}
-	if err := w.Verify(); err != nil {
-		return core.Report{}, fmt.Errorf("%s: verification failed: %w", s.Workload.Name, err)
+	if verr := w.Verify(); verr != nil {
+		return core.Report{}, fmt.Errorf("%s: verification failed: %w", s.Workload.Name, verr)
 	}
 	return rep, nil
+}
+
+// Store is a second-level cache layered under the in-memory flight
+// map: a persistent content-addressed map from Spec.Key() to Report.
+// Load returns (report, true) on a hit; a store that detects a
+// corrupt entry must return a miss (the runner then re-executes)
+// rather than surface garbage. Save may evict other entries (LRU,
+// size bounds) and may fail silently — the store is a cache, never
+// the source of truth. Implementations must be safe for concurrent
+// use; the runner guarantees at most one Load/Save per key is in
+// flight at a time (single-flight), but different keys proceed
+// concurrently.
+type Store interface {
+	Load(key string) (core.Report, bool)
+	Save(key string, rep core.Report)
+}
+
+// Source says where a Run's answer came from — the provenance
+// delta-serve reports to its clients.
+type Source int
+
+const (
+	// SourceExecuted: the request executed the simulation (a miss).
+	SourceExecuted Source = iota
+	// SourceMemory: answered from a completed in-memory entry.
+	SourceMemory
+	// SourceDisk: answered by the second-level store.
+	SourceDisk
+	// SourceDeduped: waited on a concurrent in-flight execution.
+	SourceDeduped
+	// SourceBypass: executed fresh because the spec is uncacheable or
+	// the cache is disabled.
+	SourceBypass
+)
+
+// String renders the source the way the delta-serve API reports it.
+func (s Source) String() string {
+	switch s {
+	case SourceExecuted:
+		return "miss"
+	case SourceMemory:
+		return "memory"
+	case SourceDisk:
+		return "disk"
+	case SourceDeduped:
+		return "dedup"
+	case SourceBypass:
+		return "bypass"
+	default:
+		return "unknown"
+	}
 }
 
 // Counters is a snapshot of a Runner's accounting.
@@ -82,12 +150,19 @@ type Counters struct {
 	Dedups int64
 	// Bypasses counts uncacheable or cache-disabled executions.
 	Bypasses int64
+	// DiskHits counts requests answered by the second-level store.
+	DiskHits int64
 }
 
-// String renders the snapshot the way delta-bench reports it.
+// String renders the snapshot the way delta-bench reports it; the
+// disk-hit column only appears when a second-level store produced any.
 func (c Counters) String() string {
-	return fmt.Sprintf("%d runs, %d hits, %d dedups, %d bypasses",
+	s := fmt.Sprintf("%d runs, %d hits, %d dedups, %d bypasses",
 		c.Misses, c.Hits, c.Dedups, c.Bypasses)
+	if c.DiskHits > 0 {
+		s += fmt.Sprintf(", %d disk hits", c.DiskHits)
+	}
+	return s
 }
 
 // flight is one cache entry: closed done publishes rep/err.
@@ -97,26 +172,40 @@ type flight struct {
 	err  error
 }
 
+// Tri-state cache switch: until SetDisabled pins a value, Disabled
+// consults the TASKSTREAM_NO_RUNCACHE environment variable on every
+// call, so flipping it after program start (tests, daemon config
+// reload) takes effect immediately.
+const (
+	followEnv int32 = iota // honor TASKSTREAM_NO_RUNCACHE per call
+	forcedOn               // SetDisabled(false): memoize regardless of env
+	forcedOff              // SetDisabled(true): bypass regardless of env
+)
+
 // Runner executes specs, memoizing by content address. The zero value
 // is not usable; call NewRunner. Safe for concurrent use.
 type Runner struct {
 	mu      sync.Mutex
 	flights map[string]*flight
 
-	disabled atomic.Bool
+	storeMu sync.RWMutex
+	store   Store
+
+	disabled atomic.Int32 // followEnv | forcedOn | forcedOff
 	misses   atomic.Int64
 	hits     atomic.Int64
 	dedups   atomic.Int64
 	bypasses atomic.Int64
+	diskHits atomic.Int64
 }
 
-// NewRunner returns an empty runner. The cache starts disabled when
-// TASKSTREAM_NO_RUNCACHE is set in the environment — the whole-binary
-// A/B switch the CI byte-identity job flips.
+// NewRunner returns an empty runner. Until SetDisabled pins a state,
+// the cache is disabled exactly while TASKSTREAM_NO_RUNCACHE is set in
+// the environment — the whole-binary A/B switch the CI byte-identity
+// job flips — re-checked on every Run, not snapshotted at
+// construction.
 func NewRunner() *Runner {
-	r := &Runner{flights: make(map[string]*flight)}
-	r.disabled.Store(os.Getenv("TASKSTREAM_NO_RUNCACHE") != "")
-	return r
+	return &Runner{flights: make(map[string]*flight)}
 }
 
 // Shared is the process-wide runner the experiment harness resolves
@@ -125,14 +214,46 @@ func NewRunner() *Runner {
 var Shared = NewRunner()
 
 // SetDisabled turns memoization off (every Run executes fresh) or back
-// on. Already-cached results are kept and served again once re-enabled.
-func (r *Runner) SetDisabled(v bool) { r.disabled.Store(v) }
+// on, overriding TASKSTREAM_NO_RUNCACHE from then on.
+// Already-cached results are kept and served again once re-enabled.
+func (r *Runner) SetDisabled(v bool) {
+	if v {
+		r.disabled.Store(forcedOff)
+	} else {
+		r.disabled.Store(forcedOn)
+	}
+}
 
-// Disabled reports whether memoization is off.
-func (r *Runner) Disabled() bool { return r.disabled.Load() }
+// Disabled reports whether memoization is off: the last SetDisabled
+// value if one was ever pinned, the live TASKSTREAM_NO_RUNCACHE
+// environment state otherwise.
+func (r *Runner) Disabled() bool {
+	switch r.disabled.Load() {
+	case forcedOn:
+		return false
+	case forcedOff:
+		return true
+	}
+	return os.Getenv("TASKSTREAM_NO_RUNCACHE") != ""
+}
 
-// Reset drops every cached result and zeroes the counters. Not safe to
-// call while runs are in flight.
+// SetStore installs (or, with nil, removes) the second-level store
+// consulted on in-memory misses and filled on successful executions.
+func (r *Runner) SetStore(s Store) {
+	r.storeMu.Lock()
+	defer r.storeMu.Unlock()
+	r.store = s
+}
+
+func (r *Runner) secondLevel() Store {
+	r.storeMu.RLock()
+	defer r.storeMu.RUnlock()
+	return r.store
+}
+
+// Reset drops every cached in-memory result and zeroes the counters
+// (the second-level store, if any, is untouched). Not safe to call
+// while runs are in flight.
 func (r *Runner) Reset() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -141,6 +262,28 @@ func (r *Runner) Reset() {
 	r.hits.Store(0)
 	r.dedups.Store(0)
 	r.bypasses.Store(0)
+	r.diskHits.Store(0)
+}
+
+// Evict removes the in-memory entry for key, reporting whether one
+// existed. Safe at any time: waiters on an in-flight entry hold their
+// own pointer to it and still complete; only future Runs re-execute.
+// This is the eviction-safe surface delta-serve uses to bound the
+// daemon's resident set.
+func (r *Runner) Evict(key string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.flights[key]
+	delete(r.flights, key)
+	return ok
+}
+
+// Len reports the number of in-memory entries (completed or in
+// flight).
+func (r *Runner) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.flights)
 }
 
 // Counters returns a snapshot of the runner's accounting.
@@ -150,18 +293,28 @@ func (r *Runner) Counters() Counters {
 		Hits:     r.hits.Load(),
 		Dedups:   r.dedups.Load(),
 		Bypasses: r.bypasses.Load(),
+		DiskHits: r.diskHits.Load(),
 	}
 }
 
 // Run resolves the spec: from the cache when an equal spec already
 // completed, by waiting when one is in flight, by executing otherwise.
-// Errors are memoized like results — a failing spec fails every
-// requester identically. The returned report is always a deep copy;
-// callers own it outright.
+// Concurrent requesters of a failing spec all receive its error, but
+// the failure is not memoized — the failed entry is evicted once its
+// waiters are released, so a later Run retries (one transient fault
+// must not poison the key forever). The returned report is always a
+// deep copy; callers own it outright.
 func (r *Runner) Run(s Spec) (core.Report, error) {
+	rep, _, err := r.RunInfo(s)
+	return rep, err
+}
+
+// RunInfo is Run plus provenance: where the answer came from.
+func (r *Runner) RunInfo(s Spec) (core.Report, Source, error) {
 	if r.Disabled() || !s.Cacheable() {
 		r.bypasses.Add(1)
-		return s.execute()
+		rep, err := s.execute()
+		return rep, SourceBypass, err
 	}
 	key := s.Key()
 	r.mu.Lock()
@@ -170,18 +323,54 @@ func (r *Runner) Run(s Spec) (core.Report, error) {
 		f = &flight{done: make(chan struct{})}
 		r.flights[key] = f
 		r.mu.Unlock()
-		r.misses.Add(1)
-		f.rep, f.err = s.execute()
-		close(f.done)
-		return f.rep.Clone(), f.err
+		src := r.fill(key, f, s)
+		return f.rep.Clone(), src, f.err
 	}
 	r.mu.Unlock()
 	select {
 	case <-f.done:
 		r.hits.Add(1)
+		return f.rep.Clone(), SourceMemory, f.err
 	default:
 		r.dedups.Add(1)
 		<-f.done
+		return f.rep.Clone(), SourceDeduped, f.err
 	}
-	return f.rep.Clone(), f.err
+}
+
+// fill completes a freshly created flight: from the second-level store
+// when it holds the key, by executing otherwise (populating the store
+// on success). done is always closed — execute converts panics into
+// errors, so no waiter can park forever — and a failed flight is
+// evicted after release so the next Run retries.
+func (r *Runner) fill(key string, f *flight, s Spec) Source {
+	src := SourceExecuted
+	func() {
+		defer close(f.done)
+		if st := r.secondLevel(); st != nil {
+			if rep, ok := st.Load(key); ok {
+				r.diskHits.Add(1)
+				f.rep = rep
+				src = SourceDisk
+				return
+			}
+		}
+		r.misses.Add(1)
+		f.rep, f.err = s.execute()
+		if f.err == nil {
+			if st := r.secondLevel(); st != nil {
+				st.Save(key, f.rep)
+			}
+		}
+	}()
+	if f.err != nil {
+		r.mu.Lock()
+		// Only evict our own flight: a concurrent Run may already have
+		// replaced the slot after an earlier eviction.
+		if r.flights[key] == f {
+			delete(r.flights, key)
+		}
+		r.mu.Unlock()
+	}
+	return src
 }

@@ -1,9 +1,12 @@
 package runplan
 
 import (
+	"errors"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"taskstream/internal/baseline"
 	"taskstream/internal/config"
@@ -148,7 +151,7 @@ func TestRunnerDisabledAndTraceBypass(t *testing.T) {
 	}
 }
 
-func TestRunnerMemoizesErrors(t *testing.T) {
+func TestRunnerDoesNotMemoizeErrors(t *testing.T) {
 	r := NewRunner()
 	r.SetDisabled(false)
 	bad := histSpec()
@@ -160,12 +163,221 @@ func TestRunnerMemoizesErrors(t *testing.T) {
 	if !strings.Contains(err1.Error(), "hist") {
 		t.Fatalf("error not attributed to the workload: %v", err1)
 	}
+	// The failed flight must be evicted, not memoized: a retry
+	// re-executes (and here fails again, since the spec is always bad).
 	_, err2 := r.Run(bad)
-	if err2 == nil || err2.Error() != err1.Error() {
-		t.Fatalf("cached error differs: %v vs %v", err2, err1)
+	if err2 == nil {
+		t.Fatal("retry of a failing spec reported success")
 	}
-	if c := r.Counters(); c.Misses != 1 || c.Hits != 1 {
-		t.Fatalf("failing spec counters = %+v, want 1 miss + 1 hit", c)
+	if c := r.Counters(); c.Misses != 2 || c.Hits != 0 {
+		t.Fatalf("failing spec counters = %+v, want 2 misses (retry re-executed)", c)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("failed flight left %d poisoned cache entries", r.Len())
+	}
+}
+
+// TestRunnerRetriesAfterTransientFailure pins the error-poisoning fix
+// end to end: a spec that fails exactly once (injected verification
+// failure) must succeed on the next Run instead of serving the stale
+// error forever.
+func TestRunnerRetriesAfterTransientFailure(t *testing.T) {
+	r := NewRunner()
+	r.SetDisabled(false)
+	var failures atomic.Int32
+	failures.Store(1)
+	s := histSpec()
+	inner := s.Workload.Build
+	s.Workload = workload.NamedBuilder{
+		Name: "hist-transient",
+		Build: func() *workload.Workload {
+			w := inner()
+			if failures.Add(-1) >= 0 {
+				w.Verify = func() error { return errors.New("injected transient fault") }
+			}
+			return w
+		},
+	}
+	if _, err := r.Run(s); err == nil {
+		t.Fatal("injected failure did not surface")
+	}
+	rep, err := r.Run(s)
+	if err != nil {
+		t.Fatalf("retry after transient failure still fails: %v", err)
+	}
+	if rep.Cycles <= 0 {
+		t.Fatalf("retry produced an empty report: %+v", rep)
+	}
+	// And the recovered result is now cached like any other.
+	if _, err := r.Run(s); err != nil {
+		t.Fatal(err)
+	}
+	if c := r.Counters(); c.Misses != 2 || c.Hits != 1 {
+		t.Fatalf("counters = %+v, want 2 misses (fail + retry) and 1 hit", c)
+	}
+}
+
+// TestRunnerPanicReleasesWaiters pins the waiter-deadlock fix: a
+// panicking workload builder must fail the request (and its deduped
+// waiters) with an error instead of leaving f.done unclosed forever.
+func TestRunnerPanicReleasesWaiters(t *testing.T) {
+	r := NewRunner()
+	r.SetDisabled(false)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	s := histSpec()
+	s.Workload = workload.NamedBuilder{
+		Name: "hist-panics",
+		Build: func() *workload.Workload {
+			close(started)
+			<-release // hold the flight open until a waiter dedups onto it
+			panic("injected builder panic")
+		},
+	}
+
+	errc := make(chan error, 2)
+	go func() {
+		_, err := r.Run(s)
+		errc <- err
+	}()
+	<-started
+	go func() {
+		_, err := r.Run(s)
+		errc <- err
+	}()
+	// Wait for the second request to park on the flight, then let the
+	// builder panic.
+	deadline := time.After(5 * time.Second)
+	for r.Counters().Dedups == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("second request never deduped onto the flight")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	close(release)
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-errc:
+			if err == nil || !strings.Contains(err.Error(), "panic") {
+				t.Fatalf("request %d: got %v, want a panic-converted error", i, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("waiter deadlocked on a panicked flight")
+		}
+	}
+	// The panicked flight is evicted like any failure: a retry with a
+	// healthy builder under the same name must execute and succeed.
+	if r.Len() != 0 {
+		t.Fatalf("panicked flight left %d cache entries", r.Len())
+	}
+}
+
+// TestRunnerHonorsEnvAtRunTime pins the env-snapshot fix: flipping
+// TASKSTREAM_NO_RUNCACHE after the runner was constructed must take
+// effect on the next Run (the documented whole-binary contract), not
+// be silently ignored because NewRunner read it once.
+func TestRunnerHonorsEnvAtRunTime(t *testing.T) {
+	t.Setenv("TASKSTREAM_NO_RUNCACHE", "")
+	r := NewRunner() // constructed while the cache is enabled
+	t.Setenv("TASKSTREAM_NO_RUNCACHE", "1")
+	if !r.Disabled() {
+		t.Fatal("env set after NewRunner was ignored")
+	}
+	if _, err := r.Run(histSpec()); err != nil {
+		t.Fatal(err)
+	}
+	if c := r.Counters(); c.Bypasses != 1 || c.Misses != 0 {
+		t.Fatalf("counters with env disable = %+v, want 1 bypass", c)
+	}
+	t.Setenv("TASKSTREAM_NO_RUNCACHE", "")
+	if r.Disabled() {
+		t.Fatal("env cleared after NewRunner was ignored")
+	}
+	if _, err := r.Run(histSpec()); err != nil {
+		t.Fatal(err)
+	}
+	if c := r.Counters(); c.Misses != 1 {
+		t.Fatalf("counters after env re-enable = %+v, want 1 miss", c)
+	}
+	// An explicit SetDisabled pins the state over the environment.
+	t.Setenv("TASKSTREAM_NO_RUNCACHE", "1")
+	r.SetDisabled(false)
+	if r.Disabled() {
+		t.Fatal("SetDisabled(false) did not override the environment")
+	}
+}
+
+// fakeStore is an in-memory Store for hook tests.
+type fakeStore struct {
+	mu    sync.Mutex
+	m     map[string]core.Report
+	loads int
+	saves int
+}
+
+func newFakeStore() *fakeStore { return &fakeStore{m: make(map[string]core.Report)} }
+
+func (fs *fakeStore) Load(key string) (core.Report, bool) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.loads++
+	rep, ok := fs.m[key]
+	return rep.Clone(), ok
+}
+
+func (fs *fakeStore) Save(key string, rep core.Report) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.saves++
+	fs.m[key] = rep.Clone()
+}
+
+func TestRunnerSecondLevelStore(t *testing.T) {
+	fs := newFakeStore()
+	r := NewRunner()
+	r.SetDisabled(false)
+	r.SetStore(fs)
+
+	rep, src, err := r.RunInfo(histSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != SourceExecuted {
+		t.Fatalf("cold run source = %v, want miss", src)
+	}
+	if fs.saves != 1 {
+		t.Fatalf("store saves = %d, want 1", fs.saves)
+	}
+
+	// In-memory hit wins before the store is consulted.
+	loadsBefore := fs.loads
+	_, src, err = r.RunInfo(histSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != SourceMemory || fs.loads != loadsBefore {
+		t.Fatalf("warm run source = %v (loads %d→%d), want memory with no store load",
+			src, loadsBefore, fs.loads)
+	}
+
+	// Dropping the in-memory entry falls back to the store, not a
+	// re-execution.
+	r.Evict(histSpec().Key())
+	rep2, src, err := r.RunInfo(histSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != SourceDisk {
+		t.Fatalf("post-evict source = %v, want disk", src)
+	}
+	if rep2.Cycles != rep.Cycles {
+		t.Fatalf("store round-trip changed the result: %d vs %d cycles", rep2.Cycles, rep.Cycles)
+	}
+	c := r.Counters()
+	if c.Misses != 1 || c.DiskHits != 1 {
+		t.Fatalf("counters = %+v, want 1 miss + 1 disk hit", c)
 	}
 }
 

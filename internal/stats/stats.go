@@ -4,6 +4,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -57,6 +58,44 @@ func (s *Set) Clone() *Set {
 		c.vals[k] = v
 	}
 	return c
+}
+
+// setEntry is one counter in the Set's JSON form.
+type setEntry struct {
+	N string `json:"n"`
+	V int64  `json:"v"`
+}
+
+// MarshalJSON encodes the set as an array of {n, v} pairs in
+// first-use order — no map is ranged, so equal sets always encode to
+// identical bytes. That determinism is what lets the content-addressed
+// run store (internal/store) integrity-check a report by re-hashing
+// its serialized form.
+func (s *Set) MarshalJSON() ([]byte, error) {
+	entries := make([]setEntry, len(s.names))
+	for i, n := range s.names {
+		entries[i] = setEntry{N: n, V: s.vals[n]}
+	}
+	return json.Marshal(entries)
+}
+
+// UnmarshalJSON rebuilds the set from its pair-array form, restoring
+// the original counter order.
+func (s *Set) UnmarshalJSON(b []byte) error {
+	var entries []setEntry
+	if err := json.Unmarshal(b, &entries); err != nil {
+		return err
+	}
+	s.names = s.names[:0]
+	s.vals = make(map[string]int64, len(entries))
+	for _, e := range entries {
+		if _, dup := s.vals[e.N]; dup {
+			return fmt.Errorf("stats: duplicate counter %q in encoded set", e.N)
+		}
+		s.names = append(s.names, e.N)
+		s.vals[e.N] = e.V
+	}
+	return nil
 }
 
 // Merge adds every counter of other into s.

@@ -1,0 +1,68 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Resolver tries to turn a workload name into a builder; ok=false
+// means the name is not in this resolver's grammar (the next one is
+// consulted). Registered resolvers extend the name grammar across
+// package boundaries — internal/analysis/infer registers the
+// "+inferred" suffix this way, so the delta-serve daemon can rebuild
+// any workload the experiment suite names from the wire.
+type Resolver func(name string) (NamedBuilder, bool)
+
+var (
+	resolversMu sync.RWMutex
+	resolvers   []Resolver
+)
+
+// RegisterResolver appends an extension resolver, consulted by Resolve
+// in registration order after the built-in grammar.
+func RegisterResolver(r Resolver) {
+	resolversMu.Lock()
+	defer resolversMu.Unlock()
+	resolvers = append(resolvers, r)
+}
+
+// Resolve parses a workload name into the builder it canonically
+// denotes — the inverse of the spec-identity contract ("the name
+// determines what Build constructs"). It accepts the suite names
+// ("spmv", …, "hist"), the parameterized grain grammar the E7 sweep
+// uses ("spmv-g64" = SpMV with 64 rows per task), and anything a
+// registered extension resolver claims. Unknown names error; the
+// daemon turns that into a client-visible rejection rather than
+// guessing.
+func Resolve(name string) (NamedBuilder, error) {
+	if nb := ByName(name); nb != nil {
+		return *nb, nil
+	}
+	if base, param, ok := strings.Cut(name, "-g"); ok && base == "spmv" {
+		grain, err := strconv.Atoi(param)
+		if err != nil || grain <= 0 || strconv.Itoa(grain) != param {
+			return NamedBuilder{}, fmt.Errorf("workload: bad grain in %q", name)
+		}
+		p := DefaultSpMV()
+		p.RowsPerTask = grain
+		return NamedBuilder{
+			Name:  name,
+			Build: func() *Workload { return SpMV(p) },
+		}, nil
+	}
+	// Snapshot under the lock, iterate outside it: resolvers may
+	// themselves call Resolve (the "+inferred" suffix recurses on its
+	// base name), and a recursive RLock could deadlock against a
+	// queued writer.
+	resolversMu.RLock()
+	rs := resolvers
+	resolversMu.RUnlock()
+	for _, r := range rs {
+		if nb, ok := r(name); ok {
+			return nb, nil
+		}
+	}
+	return NamedBuilder{}, fmt.Errorf("workload: unknown workload %q", name)
+}

@@ -1,0 +1,49 @@
+package workload
+
+import "testing"
+
+func TestResolveSuiteNames(t *testing.T) {
+	for _, nb := range Suite() {
+		got, err := Resolve(nb.Name)
+		if err != nil {
+			t.Fatalf("Resolve(%q): %v", nb.Name, err)
+		}
+		if got.Name != nb.Name {
+			t.Fatalf("Resolve(%q) returned builder named %q", nb.Name, got.Name)
+		}
+		if got.Build == nil || got.Build() == nil {
+			t.Fatalf("Resolve(%q) returned a non-building builder", nb.Name)
+		}
+	}
+}
+
+func TestResolveGrainGrammar(t *testing.T) {
+	nb, err := Resolve("spmv-g64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := nb.Build()
+	// The grain builder must actually change the task decomposition
+	// versus the default (rows/task 64 vs DefaultSpMV's).
+	def := SpMV(DefaultSpMV())
+	if DefaultSpMV().RowsPerTask == 64 {
+		t.Fatal("test fixture degenerate: default grain is already 64")
+	}
+	if w.TaskSizes.Count() == def.TaskSizes.Count() {
+		t.Fatalf("spmv-g64 has the same task count as default spmv (%d)", def.TaskSizes.Count())
+	}
+
+	for _, bad := range []string{"spmv-g", "spmv-g0", "spmv-g-8", "spmv-gx", "spmv-g08"} {
+		if _, err := Resolve(bad); err == nil {
+			t.Errorf("Resolve(%q) accepted a malformed grain", bad)
+		}
+	}
+}
+
+func TestResolveUnknown(t *testing.T) {
+	for _, bad := range []string{"", "nope", "gemm-g8", "spmv+nope"} {
+		if _, err := Resolve(bad); err == nil {
+			t.Errorf("Resolve(%q) did not fail", bad)
+		}
+	}
+}
