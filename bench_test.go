@@ -23,7 +23,9 @@ import (
 	"taskstream/internal/config"
 	"taskstream/internal/experiments"
 	"taskstream/internal/parallel"
+	"taskstream/internal/proto"
 	"taskstream/internal/runplan"
+	"taskstream/internal/sim"
 	"taskstream/internal/workload"
 )
 
@@ -153,6 +155,65 @@ func benchWorkload(b *testing.B, name string, v baseline.Variant) {
 		cycles = rep.Cycles
 	}
 	b.ReportMetric(float64(cycles), "sim_cycles")
+}
+
+// Hot-path allocation benches (DESIGN.md §16): the recycled message-
+// body and pipe paths must run allocation-free in steady state. Both
+// benches assert allocs/op == 0 outright — a regression fails the
+// bench, not just a metric.
+
+func BenchmarkProtoAlloc(b *testing.B) {
+	central := proto.NewPool()
+	shard := proto.NewShardPool(central)
+	cycle := func() {
+		// Central-pool round trip: the serial machine's path.
+		req := central.GetReq()
+		req.Line = 42
+		central.PutReq(req)
+		resp := central.GetResp()
+		resp.Line = 42
+		central.PutResp(resp)
+		fwd := central.GetFwd()
+		fwd.Count = 3
+		central.PutFwd(fwd)
+		// Shard-pool round trip plus barrier rebalance: a sharded
+		// lane's per-cycle pattern.
+		sreq := shard.GetReq()
+		sreq.Write = true
+		shard.PutReq(sreq)
+		shard.Recycle()
+	}
+	if n := testing.AllocsPerRun(100, cycle); n != 0 {
+		b.Fatalf("warmed body pools allocated %v allocs/op, want 0", n)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cycle()
+	}
+}
+
+func BenchmarkPipePush(b *testing.B) {
+	p := sim.NewPipe[uint64](4)
+	const batch = 32
+	cycle := func() {
+		for i := 0; i < batch; i++ {
+			p.Send(0, uint64(i))
+		}
+		for i := 0; i < batch; i++ {
+			if _, ok := p.Recv(sim.Never); !ok {
+				b.Fatal("warmed pipe lost an item")
+			}
+		}
+	}
+	if n := testing.AllocsPerRun(100, cycle); n != 0 {
+		b.Fatalf("warmed pipe allocated %v allocs/op, want 0", n)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cycle()
+	}
 }
 
 func BenchmarkRunSpMVDelta(b *testing.B)    { benchWorkload(b, "spmv", baseline.Delta) }

@@ -52,10 +52,22 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	server := flag.String("server", "", "resolve simulations through the delta-serve daemon at this URL")
+	shards := flag.Int("shards", 0,
+		"intra-simulation shard count for every run (byte-identical output); 0 reads TASKSTREAM_SHARDS; 1 forces serial")
 	flag.Parse()
 	if *jobs < 1 {
 		fmt.Fprintf(os.Stderr, "delta-bench: -j must be >= 1 (got %d)\n", *jobs)
 		os.Exit(1)
+	}
+	if *shards < 0 {
+		fmt.Fprintf(os.Stderr, "delta-bench: -shards must be >= 0 (got %d)\n", *shards)
+		os.Exit(1)
+	}
+	if *shards > 0 {
+		// The experiment definitions build their own core.Options, so
+		// the shard count rides the environment default every machine
+		// constructor consults (core.resolveShards).
+		os.Setenv("TASKSTREAM_SHARDS", fmt.Sprint(*shards))
 	}
 	experiments.SetWorkers(*jobs)
 

@@ -34,20 +34,71 @@ import (
 	"taskstream/internal/store"
 )
 
+// options holds the parsed flag values; validate rejects bad ones
+// before the daemon touches the disk store or the network.
+type options struct {
+	addr       string
+	storeDir   string
+	storeMaxMB int64
+	jobs       int
+	shards     int
+}
+
+// parseFlags binds the flag set over args (without the program name)
+// and returns the parsed options. Split from main so tests can drive
+// the real flag definitions.
+func parseFlags(args []string) (options, error) {
+	o := options{}
+	fs := flag.NewFlagSet("delta-serve", flag.ContinueOnError)
+	fs.StringVar(&o.addr, "addr", ":8177", "listen address")
+	fs.StringVar(&o.storeDir, "store", "delta-store", "disk store directory; empty = memory-only")
+	fs.Int64Var(&o.storeMaxMB, "store-max-mb", 0, "disk store size bound in MiB (0 = unbounded)")
+	fs.IntVar(&o.jobs, "j", runtime.GOMAXPROCS(0), "max concurrent simulations")
+	fs.IntVar(&o.shards, "shards", 0,
+		"intra-simulation shard count for served runs (byte-identical results); 0 reads TASKSTREAM_SHARDS; 1 forces serial")
+	if err := fs.Parse(args); err != nil {
+		return options{}, err
+	}
+	return o, nil
+}
+
+// validate checks every flag value up front so main can exit 1 cleanly
+// instead of failing partway through startup.
+func (o options) validate() error {
+	if o.jobs < 1 {
+		return fmt.Errorf("-j must be >= 1 (got %d)", o.jobs)
+	}
+	if o.storeMaxMB < 0 {
+		return fmt.Errorf("-store-max-mb must be >= 0 (got %d)", o.storeMaxMB)
+	}
+	if o.shards < 0 {
+		return fmt.Errorf("-shards must be >= 0 (got %d)", o.shards)
+	}
+	return nil
+}
+
+// apply installs the options' process-wide effects. Served simulations
+// build their machines from runplan Specs, so the shard count rides
+// the environment default every machine constructor consults
+// (core.resolveShards); results are byte-identical either way, and
+// Shards never enters a spec's cache key, so the store stays shared
+// between sharded and serial daemons.
+func (o options) apply() {
+	if o.shards > 0 {
+		os.Setenv("TASKSTREAM_SHARDS", fmt.Sprint(o.shards))
+	}
+}
+
 func main() {
-	addr := flag.String("addr", ":8177", "listen address")
-	storeDir := flag.String("store", "delta-store", "disk store directory; empty = memory-only")
-	storeMaxMB := flag.Int64("store-max-mb", 0, "disk store size bound in MiB (0 = unbounded)")
-	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulations")
-	flag.Parse()
-	if *jobs < 1 {
-		fmt.Fprintf(os.Stderr, "delta-serve: -j must be >= 1 (got %d)\n", *jobs)
+	o, err := parseFlags(os.Args[1:])
+	if err != nil {
+		os.Exit(2)
+	}
+	if err := o.validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "delta-serve: %v\n", err)
 		os.Exit(1)
 	}
-	if *storeMaxMB < 0 {
-		fmt.Fprintf(os.Stderr, "delta-serve: -store-max-mb must be >= 0 (got %d)\n", *storeMaxMB)
-		os.Exit(1)
-	}
+	o.apply()
 
 	// The daemon owns its runner rather than sharing the process-wide
 	// one: delta-serve is the only spec source in this process, and an
@@ -56,27 +107,27 @@ func main() {
 	runner.SetDisabled(false)
 
 	var disk *store.DiskStore
-	if *storeDir != "" {
+	if o.storeDir != "" {
 		var err error
-		disk, err = store.Open(*storeDir, *storeMaxMB<<20)
+		disk, err = store.Open(o.storeDir, o.storeMaxMB<<20)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "delta-serve: %v\n", err)
 			os.Exit(1)
 		}
 		st := disk.Stats()
 		fmt.Fprintf(os.Stderr, "delta-serve: store %s: %d entries, %d bytes\n",
-			*storeDir, st.Entries, st.Bytes)
+			o.storeDir, st.Entries, st.Bytes)
 	} else {
 		fmt.Fprintln(os.Stderr, "delta-serve: memory-only (no -store directory)")
 	}
 
-	ln, err := net.Listen("tcp", *addr)
+	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "delta-serve: %v\n", err)
 		os.Exit(1)
 	}
-	srv := &http.Server{Handler: store.NewServer(runner, disk, *jobs)}
-	fmt.Fprintf(os.Stderr, "delta-serve: listening on %s (-j %d)\n", ln.Addr(), *jobs)
+	srv := &http.Server{Handler: store.NewServer(runner, disk, o.jobs)}
+	fmt.Fprintf(os.Stderr, "delta-serve: listening on %s (-j %d)\n", ln.Addr(), o.jobs)
 
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()

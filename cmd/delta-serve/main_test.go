@@ -1,0 +1,102 @@
+package main
+
+import (
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestParseFlagsDefaults pins the daemon's documented defaults: port
+// 8177, ./delta-store persistence, one simulation per CPU, serial
+// execution (shards 0 defers to TASKSTREAM_SHARDS).
+func TestParseFlagsDefaults(t *testing.T) {
+	o, err := parseFlags(nil)
+	if err != nil {
+		t.Fatalf("parseFlags(nil): %v", err)
+	}
+	want := options{addr: ":8177", storeDir: "delta-store", storeMaxMB: 0,
+		jobs: runtime.GOMAXPROCS(0), shards: 0}
+	if o != want {
+		t.Fatalf("parseFlags(nil) = %+v, want %+v", o, want)
+	}
+	if err := o.validate(); err != nil {
+		t.Fatalf("default options must validate: %v", err)
+	}
+}
+
+// TestParseFlagsPlumbing checks every flag reaches its options field.
+func TestParseFlagsPlumbing(t *testing.T) {
+	o, err := parseFlags([]string{
+		"-addr", ":9000", "-store", "/tmp/ds", "-store-max-mb", "512",
+		"-j", "3", "-shards", "8",
+	})
+	if err != nil {
+		t.Fatalf("parseFlags: %v", err)
+	}
+	want := options{addr: ":9000", storeDir: "/tmp/ds", storeMaxMB: 512, jobs: 3, shards: 8}
+	if o != want {
+		t.Fatalf("parseFlags = %+v, want %+v", o, want)
+	}
+	if _, err := parseFlags([]string{"-no-such-flag"}); err == nil {
+		t.Fatal("parseFlags accepted an unknown flag")
+	}
+}
+
+// TestValidateFlags pins the up-front validation: bad values must
+// produce a usage-style error naming the flag, never a partial start.
+func TestValidateFlags(t *testing.T) {
+	valid := options{addr: ":8177", storeDir: "delta-store", jobs: 1}
+	cases := []struct {
+		name    string
+		mutate  func(*options)
+		wantErr string // substring of the error; empty = must pass
+	}{
+		{"defaults pass", func(o *options) {}, ""},
+		{"memory-only passes", func(o *options) { o.storeDir = "" }, ""},
+		{"bounded store passes", func(o *options) { o.storeMaxMB = 512 }, ""},
+		{"sharded passes", func(o *options) { o.shards = 8 }, ""},
+		{"forced-serial passes", func(o *options) { o.shards = 1 }, ""},
+		{"zero jobs", func(o *options) { o.jobs = 0 }, "-j"},
+		{"negative jobs", func(o *options) { o.jobs = -2 }, "-j"},
+		{"negative store bound", func(o *options) { o.storeMaxMB = -1 }, "-store-max-mb"},
+		{"negative shards", func(o *options) { o.shards = -1 }, "-shards"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			o := valid
+			c.mutate(&o)
+			err := o.validate()
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validate(%+v) = %v, want nil", o, err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("validate(%+v) = nil, want error containing %q", o, c.wantErr)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("validate(%+v) = %q, want substring %q", o, err, c.wantErr)
+			}
+		})
+	}
+}
+
+// TestApplyShardsPlumbing pins how -shards reaches served simulations:
+// through the TASKSTREAM_SHARDS environment default the machine
+// constructor consults. Zero must leave the environment alone so an
+// inherited setting still applies.
+func TestApplyShardsPlumbing(t *testing.T) {
+	t.Setenv("TASKSTREAM_SHARDS", "")
+	options{shards: 8}.apply()
+	if got := os.Getenv("TASKSTREAM_SHARDS"); got != "8" {
+		t.Fatalf("apply with shards=8 set TASKSTREAM_SHARDS=%q, want \"8\"", got)
+	}
+
+	t.Setenv("TASKSTREAM_SHARDS", "4")
+	options{shards: 0}.apply()
+	if got := os.Getenv("TASKSTREAM_SHARDS"); got != "4" {
+		t.Fatalf("apply with shards=0 clobbered TASKSTREAM_SHARDS to %q, want inherited \"4\"", got)
+	}
+}

@@ -30,6 +30,7 @@ type options struct {
 	hints      string
 	vet        bool
 	verbose    bool
+	shards     int
 	traceOut   string
 	traceLimit int
 }
@@ -53,6 +54,9 @@ func (o options) validate() error {
 	}
 	if o.traceLimit < 0 {
 		return fmt.Errorf("-trace-limit must be >= 0 (got %d)", o.traceLimit)
+	}
+	if o.shards < 0 {
+		return fmt.Errorf("-shards must be >= 0 (got %d)", o.shards)
 	}
 	return nil
 }
@@ -99,6 +103,8 @@ func main() {
 	flag.StringVar(&o.hints, "hints", "exact", "work-hint fidelity: exact|noisy|none")
 	flag.BoolVar(&o.vet, "vet", true, "statically verify the program before running (delta-vet)")
 	flag.BoolVar(&o.verbose, "v", false, "print every counter")
+	flag.IntVar(&o.shards, "shards", 0,
+		"intra-simulation shard count: >1 ticks lanes in parallel (byte-identical results); 0 reads TASKSTREAM_SHARDS; 1 forces serial")
 	flag.StringVar(&o.traceOut, "trace-out", "",
 		"write a Chrome trace-event / Perfetto JSON trace of the run to this path")
 	flag.IntVar(&o.traceLimit, "trace-limit", 250000,
@@ -119,6 +125,7 @@ func main() {
 	cfg, opts := v.Configure(config.Default8().WithLanes(o.lanes))
 	opts.Hints = hm
 	opts.Vet = o.vet
+	opts.Shards = o.shards
 	var sink *obs.Sink
 	if o.traceOut != "" {
 		sink = obs.New(o.traceLimit)

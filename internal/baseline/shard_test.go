@@ -1,0 +1,130 @@
+package baseline
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"taskstream/internal/config"
+	"taskstream/internal/core"
+	"taskstream/internal/obs"
+	"taskstream/internal/trace"
+	"taskstream/internal/workload"
+)
+
+// Sharded execution must be byte-identical to serial (DESIGN.md §16):
+// Options.Shards selects an execution strategy, never a result. These
+// tests pin that contract across the whole benchmark suite, with and
+// without fast-forwarding, and down to the event streams a trace
+// recorder or observability sink would see.
+
+// runSuite executes one suite workload under the Delta variant with
+// the given extra options, verifies the numerical result, and returns
+// the report plus its canonical encoding.
+func runSuite(t *testing.T, nb workload.NamedBuilder, mut func(*core.Options)) (core.Report, []byte) {
+	t.Helper()
+	w := nb.Build()
+	cfg, opts := Delta.Configure(config.Default8())
+	if mut != nil {
+		mut(&opts)
+	}
+	rep, err := RunCfg(cfg, opts, w.Prog, w.Storage)
+	if err != nil {
+		t.Fatalf("%s: %v", nb.Name, err)
+	}
+	if err := w.Verify(); err != nil {
+		t.Fatalf("%s: wrong result: %v", nb.Name, err)
+	}
+	enc, err := core.EncodeReport(rep)
+	if err != nil {
+		t.Fatalf("%s: encode: %v", nb.Name, err)
+	}
+	return rep, enc
+}
+
+// TestShardedSuiteIdentity runs every suite workload serial and
+// sharded (2 and 8 shards) and requires byte-identical reports.
+func TestShardedSuiteIdentity(t *testing.T) {
+	for _, nb := range workload.Suite() {
+		nb := nb
+		t.Run(nb.Name, func(t *testing.T) {
+			_, serial := runSuite(t, nb, nil)
+			for _, shards := range []int{2, 8} {
+				_, sharded := runSuite(t, nb, func(o *core.Options) { o.Shards = shards })
+				if !bytes.Equal(serial, sharded) {
+					t.Errorf("%s: shards=%d report diverged from serial\nserial:  %s\nsharded: %s",
+						nb.Name, shards, serial, sharded)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedIdentityNoFastForward re-pins the identity with the
+// event-horizon skipper disabled, so the sharded non-FF step path is
+// covered too (a subset keeps the run time bounded).
+func TestShardedIdentityNoFastForward(t *testing.T) {
+	for _, name := range []string{"spmv", "sort", "gemm"} {
+		nb := workload.ByName(name)
+		if nb == nil {
+			t.Fatalf("suite workload %q missing", name)
+		}
+		_, serial := runSuite(t, *nb, func(o *core.Options) { o.DisableFastForward = true })
+		_, sharded := runSuite(t, *nb, func(o *core.Options) {
+			o.DisableFastForward = true
+			o.Shards = 8
+		})
+		if !bytes.Equal(serial, sharded) {
+			t.Errorf("%s: non-FF sharded report diverged from serial", name)
+		}
+	}
+}
+
+// TestShardedTraceIdentity requires the task-lifecycle event stream —
+// order included — to match between serial and sharded runs. Trace
+// records from the parallel phase are deferred through lane outboxes,
+// so this pins the barrier's ordering contract.
+func TestShardedTraceIdentity(t *testing.T) {
+	for _, name := range []string{"spmv", "bfs"} {
+		rs := trace.New(0)
+		rp := trace.New(0)
+		_, serial := runSuite(t, *workload.ByName(name), func(o *core.Options) { o.Trace = rs })
+		_, sharded := runSuite(t, *workload.ByName(name), func(o *core.Options) {
+			o.Trace = rp
+			o.Shards = 8
+		})
+		if !bytes.Equal(serial, sharded) {
+			t.Errorf("%s: traced sharded report diverged from serial", name)
+		}
+		if !reflect.DeepEqual(rs.Events(), rp.Events()) {
+			t.Errorf("%s: trace event streams diverged (serial %d events, sharded %d)",
+				name, rs.Len(), rp.Len())
+		}
+	}
+}
+
+// TestShardedObsIdentity requires the observability event stream to
+// match between serial and sharded runs: lane events are staged in
+// per-lane buffers and flushed at the barrier in lane order, which
+// must reproduce the serial per-cycle emission order exactly.
+func TestShardedObsIdentity(t *testing.T) {
+	ss := obs.New(0)
+	sp := obs.New(0)
+	_, serial := runSuite(t, *workload.ByName("join"), func(o *core.Options) { o.Obs = ss })
+	_, sharded := runSuite(t, *workload.ByName("join"), func(o *core.Options) {
+		o.Obs = sp
+		o.Shards = 8
+	})
+	if !bytes.Equal(serial, sharded) {
+		t.Error("join: observed sharded report diverged from serial")
+	}
+	sev, pev := ss.Events(), sp.Events()
+	if len(sev) != len(pev) {
+		t.Fatalf("join: obs event counts diverged: serial %d, sharded %d", len(sev), len(pev))
+	}
+	for i := range sev {
+		if sev[i] != pev[i] {
+			t.Fatalf("join: obs event %d diverged:\nserial:  %+v\nsharded: %+v", i, sev[i], pev[i])
+		}
+	}
+}

@@ -2,7 +2,9 @@ package core
 
 import (
 	"taskstream/internal/mem"
+	"taskstream/internal/noc"
 	"taskstream/internal/obs"
+	"taskstream/internal/proto"
 	"taskstream/internal/sim"
 	"taskstream/internal/stream"
 	"taskstream/internal/trace"
@@ -43,6 +45,19 @@ type Lane struct {
 	m    *Machine
 	eng  *stream.Engine
 	spad *mem.Spad
+
+	// io routes the lane's shared-state interactions (NoC pops,
+	// coordinator notifications, trace records): direct on a serial
+	// machine, barrier-deferred under sharded execution (shard.go).
+	io laneIO
+	// sink receives the lane's observability events: the shared sink
+	// when serial, the per-shard staging buffer (buf) when sharded.
+	sink obs.Emitter
+	// Sharded-execution plumbing, nil on a serial machine.
+	outbox *sim.Outbox
+	port   *noc.ShardPort
+	bodies *proto.ShardPool
+	buf    *obs.Buffer
 
 	queue *sim.Queue[*resolved]
 	cur   *resolved
@@ -88,7 +103,16 @@ func newLane(id int, m *Machine) *Lane {
 		spawnPipe: sim.NewPipe[spawnEvt](0),
 		reserved:  make([]int, m.cfg.Fabric.NumPorts),
 	}
-	l.eng = stream.NewEngine(id, m.cfg, m.topo, m.mesh, spad)
+	if m.sharded {
+		l.outbox = &sim.Outbox{}
+		l.port = m.mesh.NewShardPort(l.node)
+		l.bodies = proto.NewShardPool(m.pool)
+		l.io = shardIO{l: l, port: l.port, ob: l.outbox}
+		l.eng = stream.NewEngine(id, m.cfg, m.topo, l.port, spad, l.bodies)
+	} else {
+		l.io = serialIO{l}
+		l.eng = stream.NewEngine(id, m.cfg, m.topo, m.mesh, spad, m.pool)
+	}
 	return l
 }
 
@@ -107,9 +131,8 @@ func (l *Lane) Tick(now sim.Cycle) {
 	// Deliver NoC messages to the stream engine. SetCycle first so the
 	// engine's message-handler events carry this cycle's stamp.
 	l.eng.SetCycle(now)
-	node := l.node
 	for {
-		msg, ok := l.m.mesh.Pop(node)
+		msg, ok := l.io.pop()
 		if !ok {
 			break
 		}
@@ -164,7 +187,7 @@ func (l *Lane) observe(now sim.Cycle) {
 // obsEmit closes the current state span at end, if it is non-empty.
 func (l *Lane) obsEmit(end sim.Cycle) {
 	if end > l.obsSince {
-		l.m.opts.Obs.Emit(obs.Event{Cycle: int64(l.obsSince), Dur: int64(end - l.obsSince),
+		l.sink.Emit(obs.Event{Cycle: int64(l.obsSince), Dur: int64(end - l.obsSince),
 			Kind: obs.KindLaneState, Cause: l.obsCause, Comp: int32(l.id), Name: l.obsName})
 	}
 }
@@ -247,7 +270,7 @@ func (l *Lane) startTask(now sim.Cycle) {
 	if r.startGate != nil {
 		*r.startGate = true // unblock paired producers' forwarding
 	}
-	l.m.opts.Trace.Record(trace.Event{
+	l.io.record(trace.Event{
 		Cycle: int64(now), Kind: trace.Start, Lane: l.id,
 		TaskKey: r.task.Key, TypeName: l.m.prog.Types[r.typeID].Name,
 		Phase: r.task.Phase,
@@ -279,7 +302,7 @@ func (l *Lane) run(now sim.Cycle) {
 		if !ok {
 			break
 		}
-		l.m.coord.spawn(ev.task)
+		l.io.spawn(ev.task)
 	}
 
 	// Attempt one firing.
@@ -291,8 +314,8 @@ func (l *Lane) run(now sim.Cycle) {
 
 	// Completion: all firings issued, pipeline drained, streams done.
 	if l.firing == r.firings && l.prod.Empty() && l.spawnPipe.Empty() && l.eng.Done() {
-		l.m.coord.complete(completeEvt{lane: l.id, phase: r.task.Phase, hint: r.hint})
-		l.m.opts.Trace.Record(trace.Event{
+		l.io.complete(completeEvt{lane: l.id, phase: r.task.Phase, hint: r.hint})
+		l.io.record(trace.Event{
 			Cycle: int64(now), Kind: trace.Complete, Lane: l.id,
 			TaskKey: r.task.Key, TypeName: l.m.prog.Types[r.typeID].Name,
 			Phase: r.task.Phase,

@@ -44,6 +44,15 @@ type Options struct {
 	// TASKSTREAM_NO_FASTFORWARD environment variable disables it
 	// machine-wide for whole-binary A/B comparison.
 	DisableFastForward bool
+	// Shards opts the run into sharded execution (DESIGN.md §16):
+	// lanes tick on worker goroutines with a deterministic epoch
+	// barrier per cycle, byte-identical to serial execution at any
+	// shard count and never entering result identity (Normalized drops
+	// it). 0 reads the TASKSTREAM_SHARDS environment variable; values
+	// ≤1 run serial. Machines with fewer than minShardLanes lanes fall
+	// back to serial (documented auto-fallback: the per-cycle fork/join
+	// would cost more than the parallelism recovers).
+	Shards int
 }
 
 // Machine is one fully wired accelerator instance executing one
@@ -56,12 +65,22 @@ type Machine struct {
 	storage *mem.Storage
 
 	engine   *sim.Engine
+	shEngine *sim.ShardedEngine // non-nil iff sharded; engine aliases its Engine
 	mesh     *noc.Mesh
 	channels []*mem.Channel
 	memctrls []*memCtrl
 	lanes    []*Lane
 	coord    *coordinator
 	mcast    *mcastManager
+
+	// pool is the central recycled-message-body pool; lanes hold
+	// shard-local façades over it under sharded execution (shard.go).
+	pool    *proto.Pool
+	sharded bool
+	// gateGroups / laneCoupled track forward-group start gates whose
+	// lanes must tick serially until the gate flips (shard.go).
+	gateGroups  []gateGroup
+	laneCoupled []bool
 
 	mappings []fabric.Mapping
 	tagData  map[uint64][]uint64
@@ -119,12 +138,18 @@ func NewMachine(cfg config.Config, prog *Program, storage *mem.Storage, opts Opt
 		}
 		m.mappings[i] = mp
 	}
+	shards := resolveShards(opts.Shards)
+	m.sharded = shards > 1 && cfg.Lanes >= minShardLanes
+	m.pool = proto.NewPool()
 	m.mesh = noc.NewMesh(cfg.NoC, topo.Nodes())
 	m.mcast = newMcastManager(sim.Cycle(cfg.Task.CoalesceWindowCycles), cfg.DRAM.LineBytes)
 	for c := 0; c < cfg.DRAM.Channels; c++ {
 		ch := mem.NewChannel(cfg.DRAM)
 		m.channels = append(m.channels, ch)
 		m.memctrls = append(m.memctrls, newMemCtrl(m, c, ch))
+	}
+	if m.sharded {
+		m.laneCoupled = make([]bool, cfg.Lanes)
 	}
 	for i := 0; i < cfg.Lanes; i++ {
 		m.lanes = append(m.lanes, newLane(i, m))
@@ -138,21 +163,57 @@ func NewMachine(cfg config.Config, prog *Program, storage *mem.Storage, opts Opt
 			ch.SetObs(opts.Obs, int32(c))
 		}
 		for _, l := range m.lanes {
-			l.eng.SetObs(opts.Obs)
+			if m.sharded {
+				// Parallel-phase emissions stage in a per-lane buffer
+				// flushed to the shared sink at the epoch barrier in
+				// lane order — the serial per-cycle emission order.
+				l.buf = obs.NewBuffer(opts.Obs)
+				l.sink = l.buf
+			} else {
+				l.sink = opts.Obs
+			}
+			l.eng.SetObs(l.sink)
 		}
 		m.mcast.obs = opts.Obs
 	}
 
-	m.engine = sim.NewEngine()
+	if m.sharded {
+		// Worker count: one execution stream per requested shard
+		// (capped by lanes), minus the driving goroutine, which
+		// participates in the parallel phase.
+		streams := shards
+		if streams > cfg.Lanes {
+			streams = cfg.Lanes
+		}
+		m.shEngine = sim.NewShardedEngine(streams - 1)
+		m.engine = &m.shEngine.Engine
+	} else {
+		m.engine = sim.NewEngine()
+	}
 	m.engine.FastForward = !opts.DisableFastForward && opts.Obs == nil &&
 		os.Getenv("TASKSTREAM_NO_FASTFORWARD") == ""
+	// Per-ticker micro-skip inside executed cycles: byte-identical by
+	// the Forecaster contract. Off under observation for the same
+	// reason fast-forwarding is — per-cycle attribution (lane state
+	// classification, span extension) must be observed, not skipped.
+	m.engine.SkipIdle = opts.Obs == nil
 	if opts.MaxCycles > 0 {
 		m.engine.MaxCycles = opts.MaxCycles
 	}
 	m.engine.Register("clock", clockTicker{m: m})
 	m.engine.Register("coordinator", m.coord)
 	for i, l := range m.lanes {
-		m.engine.Register(fmt.Sprintf("lane%d", i), l)
+		if m.sharded {
+			m.shEngine.RegisterParallel(fmt.Sprintf("lane%d", i), l, l.outbox)
+		} else {
+			m.engine.Register(fmt.Sprintf("lane%d", i), l)
+		}
+	}
+	if m.sharded {
+		m.shEngine.SetCoupled(func(k int) bool { return m.laneCoupled[k] })
+		for _, l := range m.lanes {
+			m.shEngine.AddBarrierHook(l.barrierSync)
+		}
 	}
 	m.engine.Register("mesh", m.mesh)
 	for c, mc := range m.memctrls {
@@ -164,14 +225,33 @@ func NewMachine(cfg config.Config, prog *Program, storage *mem.Storage, opts Opt
 	return m, nil
 }
 
-// clockTicker publishes the engine's cycle into m.now. Registered
-// first, so every other component's Tick sees the fresh value. It never
-// originates events.
+// clockTicker publishes the engine's cycle into m.now and, under
+// sharded execution, prunes flipped forward-group gates before the
+// lanes tick. Registered first, so every other component's Tick sees
+// the fresh value. It never originates events.
 type clockTicker struct{ m *Machine }
 
-func (c clockTicker) Tick(now sim.Cycle) { c.m.now = now }
+func (c clockTicker) Tick(now sim.Cycle) {
+	c.m.now = now
+	if c.m.sharded {
+		c.m.pruneGates()
+	}
+}
 
 func (c clockTicker) NextEvent(now sim.Cycle) sim.Cycle { return sim.Never }
+
+// Skip replays the clock's only per-cycle effect in bulk: after ticking
+// cycles [from, to) the last published value would be to-1 (gate
+// pruning is a pure optimization, safe to run at any point). This is
+// what lets the forever-quiet clock participate in SkipIdle — its Skip
+// is exactly its Tick — without ever leaving m.now stale for the
+// components that read it (coordinator pipe stamps, trace records).
+func (c clockTicker) Skip(from, to sim.Cycle) {
+	c.m.now = to - 1
+	if c.m.sharded {
+		c.m.pruneGates()
+	}
+}
 
 // chanTicker adapts a DRAM channel (its responses are drained by the
 // memory controller, so the channel itself only ticks).
@@ -228,7 +308,13 @@ func (m *Machine) submitMcast(req proto.McastReq) bool {
 
 // Run executes the program to completion and reports.
 func (m *Machine) Run() (Report, error) {
-	cycles, err := m.engine.Run(m.coord.AllDone)
+	var cycles sim.Cycle
+	var err error
+	if m.shEngine != nil {
+		cycles, err = m.shEngine.Run(m.coord.AllDone)
+	} else {
+		cycles, err = m.engine.Run(m.coord.AllDone)
+	}
 	if ffDebug {
 		obs.Global.Add("ff_runs", 1)
 		obs.Global.Add("ff_executed_cycles", m.engine.ExecutedCycles)
@@ -240,6 +326,9 @@ func (m *Machine) Run() (Report, error) {
 	if m.opts.Obs != nil {
 		for _, l := range m.lanes {
 			l.obsFlush(cycles)
+			if l.buf != nil {
+				l.buf.Flush() // final span staged after the last barrier
+			}
 		}
 	}
 	return m.report(int64(cycles)), nil
@@ -341,11 +430,14 @@ func (mc *memCtrl) Tick(now sim.Cycle) {
 		if !ok {
 			break
 		}
-		body, ok := msg.Body.(proto.MemReqBody)
+		body, ok := msg.Body.(*proto.MemReqBody)
 		if !ok {
 			panic(fmt.Sprintf("core: memctrl got %T", msg.Body))
 		}
 		mc.ch.Submit(mem.Request{ID: body.ReqID, Line: body.Line, Write: body.Write})
+		// The controller is the single consumer of request bodies;
+		// recycle through the central pool (serial context).
+		mc.m.pool.PutReq(body)
 	}
 	// Responses: one injection attempt per cycle, holding under
 	// backpressure.
@@ -378,12 +470,14 @@ func (mc *memCtrl) Tick(now sim.Cycle) {
 		if r.Write {
 			bytes = 0 // ack only
 		}
+		body := mc.m.pool.GetResp()
+		body.Line, body.Write, body.ReqID = r.Line, r.Write, r.ID
 		msg = noc.Message{
 			Kind:  noc.KindMemResp,
 			Src:   node,
 			Dests: noc.DestMask(mc.m.lanes[lane].node),
 			Bytes: bytes,
-			Body:  proto.MemRespBody{Line: r.Line, Write: r.Write, ReqID: r.ID},
+			Body:  body,
 		}
 	}
 	if !mc.m.mesh.TryInject(msg) {

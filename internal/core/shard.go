@@ -1,0 +1,154 @@
+package core
+
+import (
+	"os"
+	"strconv"
+
+	"taskstream/internal/noc"
+	"taskstream/internal/sim"
+	"taskstream/internal/trace"
+)
+
+// Sharded execution support (DESIGN.md §16). The machine's component-
+// dependency partition puts each lane — with its stream engine,
+// scratchpad, fabric state, and task queue — on its own shard, ticked
+// in parallel, while the clock, coordinator, mesh, memory controllers,
+// and DRAM channels stay serial (the boundary shard). Cross-shard
+// effects a lane produces during the parallel phase (spawn/complete
+// control messages, trace records) are deferred through its Outbox and
+// drained at the epoch barrier in lane order, which reproduces the
+// serial pipe/recorder ordering exactly.
+
+// minShardLanes is the auto-fallback threshold: below it the per-cycle
+// fork/join overhead outweighs the parallelism, so the machine runs
+// serial regardless of Options.Shards (documented in DESIGN.md §16).
+const minShardLanes = 4
+
+// resolveShards applies the TASKSTREAM_SHARDS environment default when
+// the option is unset.
+func resolveShards(opt int) int {
+	if opt != 0 {
+		return opt
+	}
+	if v := os.Getenv("TASKSTREAM_SHARDS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			return n
+		}
+	}
+	return 0
+}
+
+// gateGroup tracks one dispatched forward group's start gate and the
+// lanes that share it. While the gate is unflipped, those lanes are
+// coupled: the consumer's startTask writes the gate the producers'
+// stream engines read, so they must tick serially (in lane order, as a
+// serial run would) rather than in parallel. Gates are monotonic —
+// once true they never change — so a flipped gate is a constant the
+// parallel phase may read freely, and the group is pruned.
+type gateGroup struct {
+	gate  *bool
+	lanes []int
+}
+
+// addCoupling registers a forward group's gate for coupled execution.
+// Called at dispatch time (coordinator Tick, serial prefix). No-op on
+// a serial machine.
+func (m *Machine) addCoupling(gate *bool, lanes []int) {
+	if !m.sharded {
+		return
+	}
+	m.gateGroups = append(m.gateGroups, gateGroup{gate: gate, lanes: lanes})
+	for _, l := range lanes {
+		m.laneCoupled[l] = true
+	}
+}
+
+// pruneGates drops groups whose gate has flipped and recomputes the
+// per-lane coupling mask. Runs every executed cycle from the clock
+// ticker (serial prefix), so a gate flipped in cycle c serializes its
+// lanes through cycle c and frees them from c+1 on.
+func (m *Machine) pruneGates() {
+	if len(m.gateGroups) == 0 {
+		return
+	}
+	kept := m.gateGroups[:0]
+	for _, g := range m.gateGroups {
+		if !*g.gate {
+			kept = append(kept, g)
+		}
+	}
+	if len(kept) == len(m.gateGroups) {
+		return
+	}
+	m.gateGroups = kept
+	for i := range m.laneCoupled {
+		m.laneCoupled[i] = false
+	}
+	for _, g := range m.gateGroups {
+		for _, l := range g.lanes {
+			m.laneCoupled[l] = true
+		}
+	}
+}
+
+// laneIO abstracts the lane operations whose implementation differs
+// between serial and sharded execution: popping NoC deliveries (mesh
+// counters are shared) and notifying the coordinator / trace recorder
+// (shared state, deferred to the barrier under sharding).
+type laneIO interface {
+	pop() (noc.Message, bool)
+	spawn(t Task)
+	complete(ev completeEvt)
+	record(ev trace.Event)
+}
+
+// serialIO is the direct implementation a serial machine uses.
+type serialIO struct{ l *Lane }
+
+func (io serialIO) pop() (noc.Message, bool) { return io.l.m.mesh.Pop(io.l.node) }
+func (io serialIO) spawn(t Task)             { io.l.m.coord.spawn(t) }
+func (io serialIO) complete(ev completeEvt)  { io.l.m.coord.complete(ev) }
+func (io serialIO) record(ev trace.Event)    { io.l.m.opts.Trace.Record(ev) }
+
+// shardIO routes deliveries through the lane's private mesh port and
+// defers coordinator/trace effects to the epoch barrier. The deferred
+// calls observe the same m.now they would have seen inline: the clock
+// ticks in the serial prefix, so m.now is constant from there through
+// the barrier.
+type shardIO struct {
+	l    *Lane
+	port *noc.ShardPort
+	ob   *sim.Outbox
+}
+
+func (io shardIO) pop() (noc.Message, bool) { return io.port.Pop() }
+
+func (io shardIO) spawn(t Task) {
+	c := io.l.m.coord
+	io.ob.Defer(func() { c.spawn(t) })
+}
+
+func (io shardIO) complete(ev completeEvt) {
+	c := io.l.m.coord
+	io.ob.Defer(func() { c.complete(ev) })
+}
+
+func (io shardIO) record(ev trace.Event) {
+	r := io.l.m.opts.Trace
+	if r == nil {
+		return
+	}
+	io.ob.Defer(func() { r.Record(ev) })
+}
+
+// barrierSync is the lane's epoch-barrier hook: flush staged obs
+// events to the shared sink, fold the deferred mesh counter deltas,
+// and rebalance the lane's body pool against the central one. The
+// engine runs hooks in lane order after draining every outbox.
+func (l *Lane) barrierSync() {
+	if l.buf != nil {
+		l.buf.Flush()
+	}
+	l.port.Flush()
+	l.bodies.Recycle()
+}

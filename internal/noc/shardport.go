@@ -1,0 +1,73 @@
+package noc
+
+import "fmt"
+
+// ShardPort is a lane's private window onto the mesh for sharded
+// execution. During the parallel phase a lane may only touch
+// single-owner mesh state: its own node's injection queue (no other
+// component pushes there) and its own node's ejection queue (no other
+// component pops there). The mesh's aggregate counters (injectN,
+// ejectN, MsgsSent) are shared across all nodes, so the port defers
+// them as local deltas and Flush — called at the epoch barrier, serial
+// context — folds them in. The mesh itself ticks in the serial suffix,
+// after every flush, so it always observes consistent counters.
+//
+// A ShardPort belongs to exactly one parallel ticker; TryInject/Pop
+// must only be called from that ticker's Tick (or from serial context),
+// Flush only from the barrier.
+type ShardPort struct {
+	m        *Mesh
+	node     int
+	injected int64
+	popped   int64
+}
+
+// NewShardPort returns node's shard-local mesh port.
+func (m *Mesh) NewShardPort(node int) *ShardPort {
+	if node < 0 || node >= m.nodes {
+		panic(fmt.Sprintf("noc: shard port node %d out of range", node))
+	}
+	return &ShardPort{m: m, node: node}
+}
+
+// TryInject offers a message to the port's node, reporting false under
+// backpressure. The message's Src must be the port's own node.
+func (p *ShardPort) TryInject(msg Message) bool {
+	if msg.Src != p.node {
+		panic(fmt.Sprintf("noc: shard port for node %d injecting as node %d", p.node, msg.Src))
+	}
+	if msg.Dests == 0 {
+		panic("noc: message with empty destination set")
+	}
+	if msg.Dests>>uint(p.m.nodes) != 0 {
+		panic(fmt.Sprintf("noc: destinations %#x outside %d-node mesh", msg.Dests, p.m.nodes))
+	}
+	if !p.m.inject[p.node].Push(msg) {
+		return false
+	}
+	p.injected++
+	return true
+}
+
+// Pop removes the next delivered message at the port's node, if any.
+func (p *ShardPort) Pop() (Message, bool) {
+	msg, ok := p.m.eject[p.node].Pop()
+	if ok {
+		p.popped++
+	}
+	return msg, ok
+}
+
+// Deliverable reports whether the port's node has delivered messages
+// waiting. Read-only; safe during the parallel phase because routing
+// (which fills ejection queues) runs only in the serial suffix.
+func (p *ShardPort) Deliverable() bool { return p.m.Deliverable(p.node) }
+
+// Flush folds the deferred counter deltas into the mesh. Serial
+// context (epoch barrier) only.
+func (p *ShardPort) Flush() {
+	p.m.injectN += int(p.injected)
+	p.m.MsgsSent += p.injected
+	p.m.ejectN -= int(p.popped)
+	p.injected, p.popped = 0, 0
+}

@@ -1,0 +1,71 @@
+package noc
+
+import (
+	"testing"
+
+	"taskstream/internal/config"
+	"taskstream/internal/sim"
+)
+
+// TestShardPortCountersMatchResidents pins that deferred inject/pop
+// deltas, once flushed, leave the mesh's incremental counters equal to
+// a ground-truth recount — i.e. a ShardPort round trip is
+// indistinguishable from direct Mesh calls.
+func TestShardPortCountersMatchResidents(t *testing.T) {
+	m := NewMesh(config.Default8().NoC, 9)
+	p := m.NewShardPort(0)
+
+	for i := 0; i < 3; i++ {
+		if !p.TryInject(Message{Kind: KindMemReq, Src: 0, Dests: DestMask(8), Bytes: 64}) {
+			t.Fatalf("inject %d backpressured on empty mesh", i)
+		}
+	}
+	p.Flush()
+	if m.injectN != 3 || m.MsgsSent != 3 {
+		t.Fatalf("after flush: injectN=%d MsgsSent=%d, want 3/3", m.injectN, m.MsgsSent)
+	}
+
+	// Run the mesh until everything is delivered at node 8.
+	for c := sim.Cycle(0); !m.Deliverable(8) || m.injectN+m.linkN > 0; c++ {
+		if c > 1000 {
+			t.Fatal("messages never delivered")
+		}
+		m.Tick(c)
+	}
+	q := m.NewShardPort(8)
+	n := 0
+	for {
+		_, ok := q.Pop()
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("popped %d messages, want 3", n)
+	}
+	if m.ejectN != 3 {
+		t.Fatalf("ejectN folded early: %d, want 3 before Flush", m.ejectN)
+	}
+	q.Flush()
+	inj, link, ej := m.residents()
+	if m.injectN != inj || m.linkN != link || m.ejectN != ej {
+		t.Fatalf("counters (%d,%d,%d) != residents (%d,%d,%d)",
+			m.injectN, m.linkN, m.ejectN, inj, link, ej)
+	}
+	if !m.Idle() {
+		t.Fatal("mesh not idle after full drain + flush")
+	}
+}
+
+// TestShardPortWrongSrcPanics pins the ownership guard.
+func TestShardPortWrongSrcPanics(t *testing.T) {
+	m := NewMesh(config.Default8().NoC, 4)
+	p := m.NewShardPort(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic injecting with foreign Src")
+		}
+	}()
+	p.TryInject(Message{Src: 2, Dests: DestMask(0), Bytes: 8})
+}

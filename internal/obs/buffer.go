@@ -1,0 +1,42 @@
+package obs
+
+// Emitter is the interface emit sites hold: a *Sink (serial execution)
+// or a *Buffer (a sharded lane's per-shard staging area). The nil-sink
+// convention carries over — emit sites never check for observation
+// being enabled; they hold a nil *Sink when it is off.
+type Emitter interface {
+	Emit(Event)
+}
+
+// Buffer stages events emitted during a sharded cycle's parallel phase
+// so they can be forwarded to the shared Sink at the epoch barrier, in
+// shard registration order. That reproduces the serial per-cycle
+// emission order exactly: within one cycle a serial run emits each
+// lane's events contiguously, lane 0 before lane 1, which is precisely
+// the order the barrier flushes buffers in.
+//
+// A Buffer belongs to one parallel ticker; Emit must only be called
+// from that ticker's Tick, Flush only from the barrier.
+type Buffer struct {
+	sink   *Sink
+	events []Event
+}
+
+// NewBuffer returns a staging buffer that flushes into sink.
+func NewBuffer(sink *Sink) *Buffer { return &Buffer{sink: sink} }
+
+// Emit stages one event.
+func (b *Buffer) Emit(ev Event) { b.events = append(b.events, ev) }
+
+// Flush forwards the staged events to the sink in emission order and
+// clears the buffer, keeping its capacity for the next cycle.
+func (b *Buffer) Flush() {
+	for i := range b.events {
+		b.sink.Emit(b.events[i])
+	}
+	clear := b.events[:0]
+	for i := range b.events {
+		b.events[i] = Event{}
+	}
+	b.events = clear
+}

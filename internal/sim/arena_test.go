@@ -1,0 +1,92 @@
+package sim
+
+import "testing"
+
+type body struct {
+	A, B int64
+}
+
+func TestSlabRecyclesZeroed(t *testing.T) {
+	var s Slab[body]
+	p := s.Get()
+	p.A, p.B = 7, 9
+	s.Put(p)
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	q := s.Get()
+	if q != p {
+		t.Fatal("Get did not reuse the recycled object")
+	}
+	if q.A != 0 || q.B != 0 {
+		t.Fatalf("recycled object not zeroed: %+v", *q)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after Get, want 0", s.Len())
+	}
+}
+
+func TestShardSlabRecycleRebalances(t *testing.T) {
+	var central Slab[body]
+	sh := NewShardSlab(&central, 2)
+
+	// Free more than the local target; Recycle must push the excess back.
+	for i := 0; i < 5; i++ {
+		sh.Put(new(body))
+	}
+	sh.Recycle()
+	if got := len(sh.local); got != 2 {
+		t.Fatalf("local stock = %d after Recycle, want target 2", got)
+	}
+	if central.Len() != 3 {
+		t.Fatalf("central = %d after Recycle, want 3", central.Len())
+	}
+
+	// Drain the local stock; Recycle must refill from central.
+	sh.Get()
+	sh.Get()
+	sh.Recycle()
+	if got := len(sh.local); got != 2 {
+		t.Fatalf("local stock = %d after refill, want 2", got)
+	}
+	if central.Len() != 1 {
+		t.Fatalf("central = %d after refill, want 1", central.Len())
+	}
+}
+
+func TestShardSlabGetPutSamePhase(t *testing.T) {
+	var central Slab[body]
+	sh := NewShardSlab(&central, 0)
+	p := sh.Get()
+	p.A = 42
+	sh.Put(p)
+	q := sh.Get()
+	if q != p || q.A != 0 {
+		t.Fatalf("same-phase reuse broken: q==p %v, q=%+v", q == p, *q)
+	}
+}
+
+func TestOutboxDrainOrderAndReuse(t *testing.T) {
+	var ob Outbox
+	var got []int
+	ob.Defer(func() { got = append(got, 1) })
+	ob.Defer(func() { got = append(got, 2) })
+	ob.drain()
+	ob.Defer(func() { got = append(got, 3) })
+	ob.drain()
+	ob.drain() // empty drain is a no-op
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("drain order = %v, want [1 2 3]", got)
+	}
+}
+
+// BenchmarkSlabGetPut pins the steady-state cost of the free list.
+func BenchmarkSlabGetPut(b *testing.B) {
+	var s Slab[body]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := s.Get()
+		p.A = int64(i)
+		s.Put(p)
+	}
+}

@@ -1,0 +1,296 @@
+package sim
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// ShardedEngine ticks a designated contiguous group of components — the
+// parallel group — on worker goroutines, while everything registered
+// before the group (the serial prefix) and after it (the serial
+// suffix/boundary) ticks on the driving goroutine in registration
+// order. One simulated cycle executes as:
+//
+//	serial prefix → coupled members (in order) → parallel members
+//	→ epoch barrier → serial suffix
+//
+// The epoch barrier drains every parallel member's Outbox in
+// registration order and then runs the registered barrier hooks, so all
+// cross-shard effects land in a fixed, shard-index order — the property
+// that makes a sharded run byte-identical to a serial one (DESIGN.md
+// §16 states the full identity argument).
+//
+// Parallel members must satisfy the shard invariant during Tick: read
+// and write only their own state plus state no other component mutates
+// this phase (single-owner queues), and route every other effect
+// through their Outbox. Members that transiently violate the invariant
+// against each other — in this machine, lanes sharing an unopened
+// forward-group gate — are "coupled" via SetCoupled and tick serially,
+// in order, before the parallel phase, which preserves exact serial
+// semantics for same-cycle gate visibility.
+//
+// Fast-forwarding composes: the horizon fold asks the parallel group's
+// Forecasters concurrently (forecasts are read-only) and Skip fans out
+// in parallel (skips write only component-local accounting).
+type ShardedEngine struct {
+	Engine
+
+	workers      int
+	pstart, pend int // [pstart, pend) is the parallel group in regs
+	outboxes     []*Outbox
+	coupled      func(k int) bool // k indexes within the parallel group
+	hooks        []func()
+
+	pool     *workerPool
+	parWork  []int // uncoupled parallel-group indices this cycle
+	horizons []Cycle
+	skipA    Cycle
+	skipB    Cycle
+
+	stepFn func(int)
+	horFn  func(int)
+	skipFn func(int)
+}
+
+// NewShardedEngine returns an engine that runs its parallel group on
+// workers goroutines (the driving goroutine also participates, so the
+// parallel phase uses workers+1 execution streams). workers must be
+// ≥ 1; callers wanting a serial machine should use NewEngine.
+func NewShardedEngine(workers int) *ShardedEngine {
+	if workers < 1 {
+		panic("sim: sharded engine needs at least one worker")
+	}
+	return &ShardedEngine{workers: workers, pstart: -1, pend: -1}
+}
+
+// RegisterParallel appends a component to the parallel group. The group
+// must be contiguous in registration order: every RegisterParallel call
+// must follow either another RegisterParallel or only serial-prefix
+// Registers. ob receives the component's deferred cross-shard effects;
+// it is drained at the epoch barrier in registration order.
+func (s *ShardedEngine) RegisterParallel(name string, t Ticker, ob *Outbox) {
+	if s.pstart < 0 {
+		s.pstart = len(s.regs)
+	} else if s.pend != len(s.regs) {
+		panic("sim: parallel group must be contiguous in registration order")
+	}
+	s.Register(name, t)
+	s.pend = len(s.regs)
+	s.outboxes = append(s.outboxes, ob)
+}
+
+// SetCoupled installs the coupling predicate: parallel-group member k
+// (0-based within the group) ticks serially, in group order, before the
+// parallel phase whenever coupled(k) reports true. The predicate is
+// consulted once per member per cycle, from the driving goroutine.
+func (s *ShardedEngine) SetCoupled(coupled func(k int) bool) { s.coupled = coupled }
+
+// AddBarrierHook registers fn to run at every epoch barrier, after the
+// outboxes drain, in registration order. Hooks run on the driving
+// goroutine; machines use them to fold shard-deferred counters and
+// recycle shard-local slabs.
+func (s *ShardedEngine) AddBarrierHook(fn func()) { s.hooks = append(s.hooks, fn) }
+
+// Run executes the sharded run loop. The worker pool exists only for
+// the duration of the run.
+func (s *ShardedEngine) Run(done func() bool) (Cycle, error) {
+	if s.pstart < 0 {
+		s.pstart, s.pend = len(s.regs), len(s.regs)
+	}
+	n := s.pend - s.pstart
+	s.parWork = make([]int, 0, n)
+	s.horizons = make([]Cycle, n)
+	// Bind the dispatch bodies once; per-cycle dispatches then allocate
+	// nothing.
+	s.stepFn = func(j int) { s.tickOne(s.pstart + s.parWork[j]) }
+	s.horFn = func(k int) { s.horizons[k] = s.regs[s.pstart+k].f.NextEvent(s.now) }
+	s.skipFn = func(k int) {
+		if sk := s.regs[s.pstart+k].s; sk != nil {
+			sk.Skip(s.skipA, s.skipB)
+		}
+	}
+	s.pool = newWorkerPool(s.workers)
+	defer s.pool.stop()
+	return s.runLoop(s, done)
+}
+
+// step executes one sharded cycle (see the type comment for the phase
+// structure).
+func (s *ShardedEngine) step() {
+	for i := 0; i < s.pstart; i++ {
+		s.tickOne(i)
+	}
+	s.parWork = s.parWork[:0]
+	if s.coupled != nil {
+		for k := 0; k < s.pend-s.pstart; k++ {
+			if s.coupled(k) {
+				s.tickOne(s.pstart + k)
+			} else {
+				s.parWork = append(s.parWork, k)
+			}
+		}
+	} else {
+		for k := 0; k < s.pend-s.pstart; k++ {
+			s.parWork = append(s.parWork, k)
+		}
+	}
+	s.pool.dispatch(len(s.parWork), s.stepFn)
+	// Epoch barrier: deferred cross-shard effects in registration
+	// order, then the merge hooks.
+	for _, ob := range s.outboxes {
+		ob.drain()
+	}
+	for _, h := range s.hooks {
+		h()
+	}
+	for i := s.pend; i < len(s.regs); i++ {
+		s.tickOne(i)
+	}
+	s.now++
+	s.ExecutedCycles++
+}
+
+// horizon folds per-component forecasts: serial components in order
+// (with early exit), the parallel group concurrently. Min is
+// commutative, so the concurrent fold is deterministic.
+func (s *ShardedEngine) horizon() Cycle {
+	h := Never
+	for i := 0; i < s.pstart; i++ {
+		ev := s.regs[i].f.NextEvent(s.now)
+		if ev <= s.now {
+			return s.now
+		}
+		if ev < h {
+			h = ev
+		}
+	}
+	for i := s.pend; i < len(s.regs); i++ {
+		ev := s.regs[i].f.NextEvent(s.now)
+		if ev <= s.now {
+			return s.now
+		}
+		if ev < h {
+			h = ev
+		}
+	}
+	s.pool.dispatch(s.pend-s.pstart, s.horFn)
+	for _, ev := range s.horizons {
+		if ev < h {
+			h = ev
+		}
+	}
+	if h < s.now {
+		h = s.now
+	}
+	return h
+}
+
+// skipTo fans Skip out over the parallel group concurrently; skips
+// mutate only component-local accounting, so order is immaterial.
+func (s *ShardedEngine) skipTo(h Cycle) {
+	for i := 0; i < s.pstart; i++ {
+		if sk := s.regs[i].s; sk != nil {
+			sk.Skip(s.now, h)
+		}
+	}
+	for i := s.pend; i < len(s.regs); i++ {
+		if sk := s.regs[i].s; sk != nil {
+			sk.Skip(s.now, h)
+		}
+	}
+	s.skipA, s.skipB = s.now, h
+	s.pool.dispatch(s.pend-s.pstart, s.skipFn)
+	s.SkippedCycles += int64(h - s.now)
+	s.now = h
+}
+
+// workerPool executes index-addressed work items on spinning worker
+// goroutines. The simulator needs a sub-microsecond fork/join per
+// simulated cycle — channel-based handoff costs more than many of the
+// ticks it would parallelize — so release and completion ride atomics,
+// with Gosched-yielding spins keeping single-core hosts live.
+type workerPool struct {
+	workers int
+	items   int
+	run     func(int)
+
+	epoch   atomic.Int64
+	cursor  atomic.Int64
+	done    atomic.Int64
+	stopped atomic.Bool
+	panics  chan any
+}
+
+// newWorkerPool starts n spinning workers. Callers must stop the pool;
+// its goroutines otherwise spin (yielding) forever.
+func newWorkerPool(n int) *workerPool {
+	p := &workerPool{workers: n, panics: make(chan any, n+1)}
+	for w := 0; w < n; w++ {
+		go p.worker()
+	}
+	return p
+}
+
+// dispatch runs run(0..items-1) across the workers plus the calling
+// goroutine and returns when all items completed. A panic in any item
+// is re-raised on the calling goroutine after the join, so the barrier
+// is never torn.
+func (p *workerPool) dispatch(items int, run func(int)) {
+	if items == 0 {
+		return
+	}
+	p.items = items
+	p.run = run
+	p.cursor.Store(0)
+	p.done.Store(0)
+	// The epoch increment publishes items/run/cursor/done to the
+	// workers (atomic release; their epoch load acquires).
+	p.epoch.Add(1)
+	p.work()
+	for p.done.Load() < int64(p.workers) {
+		runtime.Gosched()
+	}
+	p.run = nil
+	select {
+	case r := <-p.panics:
+		panic(r)
+	default:
+	}
+}
+
+// work claims and runs items until the cursor is exhausted, trapping
+// panics for the dispatcher to re-raise.
+func (p *workerPool) work() {
+	defer func() {
+		if r := recover(); r != nil {
+			p.panics <- r
+		}
+	}()
+	for {
+		i := int(p.cursor.Add(1)) - 1
+		if i >= p.items {
+			return
+		}
+		p.run(i)
+	}
+}
+
+// worker is the spin loop each pool goroutine runs: wait for the next
+// epoch, process it, report done.
+func (p *workerPool) worker() {
+	last := int64(0)
+	for {
+		for p.epoch.Load() == last {
+			if p.stopped.Load() {
+				return
+			}
+			runtime.Gosched()
+		}
+		last++
+		p.work()
+		p.done.Add(1)
+	}
+}
+
+// stop releases the workers; they exit at their next spin check.
+func (p *workerPool) stop() { p.stopped.Store(true) }

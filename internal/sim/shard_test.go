@@ -1,0 +1,319 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// toyLane is a minimal parallel-safe component: it owns a counter,
+// "fires" on cycles determined by a per-lane deterministic schedule,
+// and reports every firing to a shared log — directly when serial,
+// via its Outbox when sharded. Firing n times completes it.
+type toyLane struct {
+	id      int
+	period  Cycle
+	limit   int
+	fired   int
+	busy    int64 // time-linear accounting replayed by Skip
+	log     *[]string
+	ob      *Outbox
+	skipped int64
+}
+
+func (t *toyLane) Tick(now Cycle) {
+	t.busy++
+	if t.fired < t.limit && now%t.period == Cycle(t.id)%t.period {
+		t.fired++
+		ev := fmt.Sprintf("c%d lane%d fire%d", now, t.id, t.fired)
+		if t.ob != nil {
+			t.ob.Defer(func() { *t.log = append(*t.log, ev) })
+		} else {
+			*t.log = append(*t.log, ev)
+		}
+	}
+}
+
+func (t *toyLane) Idle() bool { return t.fired >= t.limit }
+
+func (t *toyLane) NextEvent(now Cycle) Cycle {
+	if t.fired >= t.limit {
+		return Never
+	}
+	for c := now; ; c++ {
+		if c%t.period == Cycle(t.id)%t.period {
+			return c
+		}
+	}
+}
+
+func (t *toyLane) Skip(from, to Cycle) {
+	t.busy += int64(to - from)
+	t.skipped += int64(to - from)
+}
+
+// buildToy wires nLanes toy lanes plus a serial boundary ticker that
+// appends a per-cycle marker, over either engine kind.
+func buildToy(nLanes int, workers int, ff bool) (interface {
+	Run(func() bool) (Cycle, error)
+}, []*toyLane, *[]string) {
+	log := &[]string{}
+	lanes := make([]*toyLane, nLanes)
+	mk := func(i int) *toyLane {
+		return &toyLane{id: i, period: Cycle(3 + i%4), limit: 5 + i%3, log: log}
+	}
+	boundary := &toyLane{id: 99, period: 1000, limit: 0, log: log}
+	if workers <= 0 {
+		e := NewEngine()
+		e.FastForward = ff
+		for i := range lanes {
+			lanes[i] = mk(i)
+			e.Register(fmt.Sprintf("lane%d", i), lanes[i])
+		}
+		e.Register("boundary", boundary)
+		return e, lanes, log
+	}
+	s := NewShardedEngine(workers)
+	s.FastForward = ff
+	for i := range lanes {
+		lanes[i] = mk(i)
+		lanes[i].ob = &Outbox{}
+		s.RegisterParallel(fmt.Sprintf("lane%d", i), lanes[i], lanes[i].ob)
+	}
+	s.Register("boundary", boundary)
+	return s, lanes, log
+}
+
+// TestShardedIdentity pins the core contract: a sharded run produces
+// the same cycle count, the same per-component statistics, and the same
+// ordered effect log as the serial run, at several worker counts, with
+// fast-forwarding on and off.
+func TestShardedIdentity(t *testing.T) {
+	for _, ff := range []bool{false, true} {
+		ser, serLanes, serLog := buildToy(8, 0, ff)
+		serCycles, err := ser.Run(nil)
+		if err != nil {
+			t.Fatalf("serial run (ff=%v): %v", ff, err)
+		}
+		for _, workers := range []int{1, 2, 7} {
+			sh, shLanes, shLog := buildToy(8, workers, ff)
+			shCycles, err := sh.Run(nil)
+			if err != nil {
+				t.Fatalf("sharded run (workers=%d ff=%v): %v", workers, ff, err)
+			}
+			if shCycles != serCycles {
+				t.Fatalf("workers=%d ff=%v: cycles %d != serial %d", workers, ff, shCycles, serCycles)
+			}
+			for i := range serLanes {
+				a, b := *serLanes[i], *shLanes[i]
+				a.log, a.ob, b.log, b.ob = nil, nil, nil, nil
+				if a != b {
+					t.Fatalf("workers=%d ff=%v lane%d state diverged:\nserial  %+v\nsharded %+v",
+						workers, ff, i, a, b)
+				}
+			}
+			if fmt.Sprint(*serLog) != fmt.Sprint(*shLog) {
+				t.Fatalf("workers=%d ff=%v: effect log diverged\nserial  %v\nsharded %v",
+					workers, ff, *serLog, *shLog)
+			}
+		}
+	}
+}
+
+// TestShardedFFSkips pins that fast-forwarding actually engages on the
+// sharded engine (skipped cycles accounted, lanes' Skip replayed).
+func TestShardedFFSkips(t *testing.T) {
+	sh, lanes, _ := buildToy(4, 2, true)
+	s := sh.(*ShardedEngine)
+	if _, err := s.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	if s.SkippedCycles == 0 {
+		t.Fatal("expected skipped cycles on sparse toy machine with FF on")
+	}
+	var replayed int64
+	for _, l := range lanes {
+		replayed += l.skipped
+	}
+	if replayed == 0 {
+		t.Fatal("parallel Skip fan-out never reached the lanes")
+	}
+}
+
+// coupledProbe records tick order into an unsynchronized slice — safe
+// only if the engine really runs coupled members serially.
+type coupledProbe struct {
+	toyLane
+	order *[]int
+}
+
+func (c *coupledProbe) Tick(now Cycle) {
+	*c.order = append(*c.order, c.id)
+	c.toyLane.Tick(now)
+}
+
+// TestCoupledSerialOrder pins that members flagged by the coupling
+// predicate tick on the driving goroutine in group-index order: the
+// shared unsynchronized order slice must come out sorted per cycle and
+// race-clean (run under -race in CI).
+func TestCoupledSerialOrder(t *testing.T) {
+	log := &[]string{}
+	order := &[]int{}
+	s := NewShardedEngine(3)
+	n := 6
+	for i := 0; i < n; i++ {
+		p := &coupledProbe{toyLane: toyLane{id: i, period: 2, limit: 3, log: log, ob: &Outbox{}}, order: order}
+		s.RegisterParallel(fmt.Sprintf("lane%d", i), p, p.toyLane.ob)
+	}
+	s.SetCoupled(func(k int) bool { return true }) // everything coupled
+	if _, err := s.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(*order)%n != 0 {
+		t.Fatalf("order length %d not a multiple of %d", len(*order), n)
+	}
+	for c := 0; c < len(*order); c += n {
+		for i := 0; i < n; i++ {
+			if (*order)[c+i] != i {
+				t.Fatalf("cycle %d: coupled tick order %v, want 0..%d ascending", c/n, (*order)[c:c+n], n-1)
+			}
+		}
+	}
+}
+
+// TestBarrierHookOrder pins that hooks run after outbox drains, in
+// registration order, every cycle.
+func TestBarrierHookOrder(t *testing.T) {
+	log := &[]string{}
+	s := NewShardedEngine(2)
+	l := &toyLane{id: 0, period: 1, limit: 2, log: log, ob: &Outbox{}}
+	s.RegisterParallel("lane0", l, l.ob)
+	s.AddBarrierHook(func() { *log = append(*log, "hookA") })
+	s.AddBarrierHook(func() { *log = append(*log, "hookB") })
+	if _, err := s.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"c0 lane0 fire1", "hookA", "hookB", "c1 lane0 fire2", "hookA", "hookB"}
+	if fmt.Sprint(*log) != fmt.Sprint(want) {
+		t.Fatalf("barrier sequence %v, want %v", *log, want)
+	}
+}
+
+type panicker struct{ toyLane }
+
+func (p *panicker) Tick(now Cycle) {
+	if now == 3 {
+		panic("boom at cycle 3")
+	}
+	p.toyLane.Tick(now)
+}
+
+// TestShardedPanicPropagates pins that a panic inside a parallel tick
+// surfaces on the driving goroutine (not a dead worker + hang).
+func TestShardedPanicPropagates(t *testing.T) {
+	log := &[]string{}
+	s := NewShardedEngine(2)
+	for i := 0; i < 4; i++ {
+		var tk Ticker
+		l := toyLane{id: i, period: 2, limit: 100, log: log, ob: &Outbox{}}
+		if i == 2 {
+			tk = &panicker{l}
+		} else {
+			lp := l
+			tk = &lp
+		}
+		var ob *Outbox
+		switch v := tk.(type) {
+		case *panicker:
+			ob = v.ob
+		case *toyLane:
+			ob = v.ob
+		}
+		s.RegisterParallel(fmt.Sprintf("lane%d", i), tk, ob)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic to propagate out of Run")
+		}
+		if fmt.Sprint(r) != "boom at cycle 3" {
+			t.Fatalf("unexpected panic payload: %v", r)
+		}
+	}()
+	_, _ = s.Run(nil)
+	t.Fatal("run returned normally despite panicking ticker")
+}
+
+// TestRegisterParallelContiguity pins the wiring guard: interleaving a
+// serial Register inside the parallel group panics.
+func TestRegisterParallelContiguity(t *testing.T) {
+	log := &[]string{}
+	s := NewShardedEngine(1)
+	l0 := &toyLane{id: 0, period: 2, limit: 1, log: log, ob: &Outbox{}}
+	s.RegisterParallel("lane0", l0, l0.ob)
+	s.Register("boundary", &toyLane{id: 9, period: 2, limit: 0, log: log})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected contiguity panic")
+		}
+	}()
+	l1 := &toyLane{id: 1, period: 2, limit: 1, log: log, ob: &Outbox{}}
+	s.RegisterParallel("lane1", l1, l1.ob)
+}
+
+// skipIdleProbe counts real ticks vs skips so the test can prove the
+// micro-skip substituted Skip for Tick on idle cycles.
+type skipIdleProbe struct {
+	next  Cycle
+	ticks int64
+	busy  int64
+}
+
+func (p *skipIdleProbe) Tick(now Cycle) {
+	p.ticks++
+	p.busy++
+	if now >= p.next {
+		p.next = now + 10
+	}
+}
+func (p *skipIdleProbe) Idle() bool { return p.next >= 40 }
+func (p *skipIdleProbe) NextEvent(now Cycle) Cycle {
+	if p.next < now {
+		return now
+	}
+	return p.next
+}
+func (p *skipIdleProbe) Skip(from, to Cycle) { p.busy += int64(to - from) }
+
+// nonForecaster keeps FF from engaging so SkipIdle is exercised on the
+// plain executed-cycle path.
+type nonForecaster struct{ n Cycle }
+
+func (x *nonForecaster) Tick(now Cycle) { x.n = now }
+func (x *nonForecaster) Idle() bool     { return true }
+
+// TestSkipIdleMicroSkip pins the satellite: with SkipIdle on, idle
+// forecasting components get their one-cycle Skip instead of Tick, and
+// time-linear accounting stays byte-identical.
+func TestSkipIdleMicroSkip(t *testing.T) {
+	run := func(skipIdle bool) *skipIdleProbe {
+		e := NewEngine()
+		e.SkipIdle = skipIdle
+		p := &skipIdleProbe{}
+		e.Register("probe", p)
+		e.Register("plain", &nonForecaster{})
+		e.MaxCycles = 40
+		_, err := e.Run(func() bool { return p.next >= 40 })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	base := run(false)
+	fast := run(true)
+	if fast.busy != base.busy {
+		t.Fatalf("SkipIdle changed accounting: busy %d != %d", fast.busy, base.busy)
+	}
+	if fast.ticks >= base.ticks {
+		t.Fatalf("SkipIdle did not suppress idle ticks: %d >= %d", fast.ticks, base.ticks)
+	}
+}

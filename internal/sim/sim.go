@@ -26,6 +26,20 @@
 // stall attribution) implement Skipper so the engine can replay that
 // accounting in bulk, keeping every statistic byte-identical to a
 // cycle-by-cycle run. See DESIGN.md §11 for the full contract.
+//
+// SkipIdle applies the same contract at per-component granularity
+// within executed cycles: a component whose forecast is beyond now has
+// promised its Tick would do nothing beyond Skipper-declared
+// accounting, so the engine replays that accounting (Skip(now, now+1))
+// instead of ticking it. Because the forecast is evaluated at the
+// component's own position in the tick order, it sees exactly the
+// state its Tick would have seen, which keeps the substitution exact.
+//
+// # Sharded execution
+//
+// ShardedEngine (shard.go) extends the kernel to tick an independent
+// group of components on worker goroutines with a deterministic epoch
+// barrier per cycle; see DESIGN.md §16.
 package sim
 
 import (
@@ -102,20 +116,27 @@ type Skipper interface {
 	Skip(from, to Cycle)
 }
 
+// reg is one registered component with its optional protocol facets
+// resolved once, so the per-cycle loops never re-type-assert.
+type reg struct {
+	t Ticker
+	f Forecaster // nil when the component does not forecast
+	s Skipper    // nil when it has no time-linear accounting
+}
+
 // Engine drives a fixed set of components through simulated time.
 type Engine struct {
-	tickers []Ticker
-	names   []string
+	regs  []reg
+	names []string
 	// idlers and idlerNames hold the Idler subset of tickers (resolved
 	// once at Register so quiescence scans and deadlock diagnostics
 	// never re-type-assert).
 	idlers     []Idler
 	idlerNames []string
-	// forecasters collects the Forecaster subset; fast-forwarding
-	// engages only when it covers every ticker.
-	forecasters []Forecaster
-	skippers    []Skipper
-	now         Cycle
+	// nForecast counts registered Forecasters; fast-forwarding engages
+	// only when it covers every ticker.
+	nForecast int
+	now       Cycle
 	// MaxCycles aborts a run that fails to quiesce; a safety net for
 	// model bugs (deadlocked credit loops and the like). Zero means the
 	// DefaultMaxCycles limit.
@@ -127,6 +148,12 @@ type Engine struct {
 	// component state only, never on Now() directly, since skipped
 	// cycles are not individually observed.
 	FastForward bool
+	// SkipIdle replaces the Tick of any component whose forecast is
+	// beyond the current cycle with its (bulk-exact) one-cycle Skip,
+	// inside executed cycles — the per-component analogue of
+	// fast-forwarding, effective even when FastForward is off or
+	// cannot engage. Byte-identical by the Forecaster contract.
+	SkipIdle bool
 	// ExecutedCycles and SkippedCycles meter fast-forwarding: cycles
 	// individually ticked versus cycles jumped over. They never enter
 	// simulation results — purely wall-time diagnostics.
@@ -145,27 +172,43 @@ func NewEngine() *Engine { return &Engine{} }
 // participates in quiescence detection; if it implements Forecaster it
 // participates in event-horizon fast-forwarding.
 func (e *Engine) Register(name string, t Ticker) {
-	e.tickers = append(e.tickers, t)
+	r := reg{t: t}
+	if f, ok := t.(Forecaster); ok {
+		r.f = f
+		e.nForecast++
+	}
+	if s, ok := t.(Skipper); ok {
+		r.s = s
+	}
+	e.regs = append(e.regs, r)
 	e.names = append(e.names, name)
 	if id, ok := t.(Idler); ok {
 		e.idlers = append(e.idlers, id)
 		e.idlerNames = append(e.idlerNames, name)
-	}
-	if f, ok := t.(Forecaster); ok {
-		e.forecasters = append(e.forecasters, f)
-	}
-	if s, ok := t.(Skipper); ok {
-		e.skippers = append(e.skippers, s)
 	}
 }
 
 // Now returns the current cycle (the number of fully executed cycles).
 func (e *Engine) Now() Cycle { return e.now }
 
+// tickOne advances component i by one cycle, substituting its bulk
+// accounting when SkipIdle applies. It mutates no engine state, so the
+// sharded engine can call it concurrently for independent components.
+func (e *Engine) tickOne(i int) {
+	r := &e.regs[i]
+	if e.SkipIdle && r.f != nil && r.f.NextEvent(e.now) > e.now {
+		if r.s != nil {
+			r.s.Skip(e.now, e.now+1)
+		}
+		return
+	}
+	r.t.Tick(e.now)
+}
+
 // Step executes exactly one cycle.
 func (e *Engine) Step() {
-	for _, t := range e.tickers {
-		t.Tick(e.now)
+	for i := range e.regs {
+		e.tickOne(i)
 	}
 	e.now++
 	e.ExecutedCycles++
@@ -186,8 +229,8 @@ func (e *Engine) quiescent() bool {
 // immediate event, bounding the scan cost on busy cycles.
 func (e *Engine) horizon() Cycle {
 	h := Never
-	for _, f := range e.forecasters {
-		ev := f.NextEvent(e.now)
+	for i := range e.regs {
+		ev := e.regs[i].f.NextEvent(e.now)
 		if ev <= e.now {
 			return e.now
 		}
@@ -196,6 +239,30 @@ func (e *Engine) horizon() Cycle {
 		}
 	}
 	return h
+}
+
+// skipTo replays time-linear accounting over [e.now, h) and jumps to h.
+func (e *Engine) skipTo(h Cycle) {
+	for i := range e.regs {
+		if s := e.regs[i].s; s != nil {
+			s.Skip(e.now, h)
+		}
+	}
+	e.SkippedCycles += int64(h - e.now)
+	e.now = h
+}
+
+// step is the engine's single-cycle driver hook (see driver).
+func (e *Engine) step() { e.Step() }
+
+// driver abstracts how one cycle executes and how the fast-forward
+// protocol fans out, so the serial Engine and the ShardedEngine share
+// one run loop — and therefore exactly one termination, limit, and
+// skip policy.
+type driver interface {
+	step()
+	horizon() Cycle
+	skipTo(h Cycle)
 }
 
 // Run executes cycles until done() returns true and all components are
@@ -208,11 +275,22 @@ func (e *Engine) horizon() Cycle {
 // cycle counts, statistics, and termination are byte-identical to a
 // cycle-by-cycle run.
 func (e *Engine) Run(done func() bool) (Cycle, error) {
+	return e.runLoop(e, done)
+}
+
+// ffEngaged reports whether fast-forwarding can run: opted in and every
+// component forecasts.
+func (e *Engine) ffEngaged() bool {
+	return e.FastForward && e.nForecast == len(e.regs)
+}
+
+// runLoop is the shared cycle loop; d supplies the execution strategy.
+func (e *Engine) runLoop(d driver, done func() bool) (Cycle, error) {
 	limit := e.MaxCycles
 	if limit <= 0 {
 		limit = DefaultMaxCycles
 	}
-	ff := e.FastForward && len(e.forecasters) == len(e.tickers)
+	ff := e.ffEngaged()
 	for {
 		if (done == nil || done()) && e.quiescent() {
 			return e.now, nil
@@ -220,11 +298,11 @@ func (e *Engine) Run(done func() bool) (Cycle, error) {
 		if e.now >= limit {
 			return e.now, fmt.Errorf("sim: cycle limit %d exceeded; busy components: %v", limit, e.busyNames())
 		}
-		e.Step()
+		d.step()
 		if !ff {
 			continue
 		}
-		h := e.horizon()
+		h := d.horizon()
 		if h <= e.now {
 			continue
 		}
@@ -241,11 +319,7 @@ func (e *Engine) Run(done func() bool) (Cycle, error) {
 			h = limit
 		}
 		if h > e.now {
-			for _, s := range e.skippers {
-				s.Skip(e.now, h)
-			}
-			e.SkippedCycles += int64(h - e.now)
-			e.now = h
+			d.skipTo(h)
 		}
 	}
 }

@@ -26,6 +26,7 @@ type Engine struct {
 	cfg       config.Config
 	inj       Injector
 	spad      *mem.Spad
+	pool      proto.BodyPool
 	reads     []*readCtx
 	writes    []*writeCtx
 	maxOut    int // per-context outstanding line requests
@@ -60,8 +61,10 @@ type Engine struct {
 
 	// obs, when non-nil, receives span issue/complete events; now is
 	// the engine's view of the current cycle (messages are delivered
-	// outside Tick, so the lane refreshes it via SetCycle).
-	obs *obs.Sink
+	// outside Tick, so the lane refreshes it via SetCycle). Under
+	// sharded execution it is the lane's per-shard obs.Buffer rather
+	// than the shared sink.
+	obs obs.Emitter
 	now sim.Cycle
 }
 
@@ -73,14 +76,22 @@ const (
 	ctxIDSpace  = 64
 )
 
-// NewEngine builds a stream engine for the given lane.
-func NewEngine(lane int, cfg config.Config, topo proto.Topology, inj Injector, spad *mem.Spad) *Engine {
+// NewEngine builds a stream engine for the given lane. pool supplies
+// the recycled message bodies the engine sends and frees (a lane-local
+// proto.ShardPool under sharded execution, the machine's central
+// proto.Pool otherwise); nil means a private unshared pool, which
+// keeps standalone construction simple in tests.
+func NewEngine(lane int, cfg config.Config, topo proto.Topology, inj Injector, spad *mem.Spad, pool proto.BodyPool) *Engine {
+	if pool == nil {
+		pool = proto.NewPool()
+	}
 	e := &Engine{
 		lane:      lane,
 		topo:      topo,
 		cfg:       cfg,
 		inj:       inj,
 		spad:      spad,
+		pool:      pool,
 		maxOut:    32,
 		reqBudget: 4,
 		mcBuf:     make(map[uint64]map[int]bool),
@@ -104,8 +115,10 @@ func NewEngine(lane int, cfg config.Config, topo proto.Topology, inj Injector, s
 	return e
 }
 
-// SetObs attaches the observability sink.
-func (e *Engine) SetObs(s *obs.Sink) { e.obs = s }
+// SetObs attaches the observability emitter (the shared sink, or a
+// per-shard staging buffer under sharded execution). Callers must pass
+// nil — not a typed-nil sink — to detach.
+func (e *Engine) SetObs(s obs.Emitter) { e.obs = s }
 
 // SetCycle refreshes the engine's notion of the current cycle so that
 // events emitted from message handlers (which run outside Tick) carry
@@ -555,17 +568,21 @@ func (e *Engine) issueWrite(p, budget int) int {
 			if k > e.cfg.Fabric.PortWidth {
 				k = e.cfg.Fabric.PortWidth
 			}
+			body := e.pool.GetFwd()
+			body.Port, body.Count = c.consumerPort, k
 			msg := noc.Message{
 				Kind:  noc.KindForward,
 				Src:   e.selfNode,
 				Dests: noc.DestMask(e.laneNodes[c.consumerLane]),
 				Bytes: k * mem.ElemBytes,
-				Body:  proto.ForwardBody{Port: c.consumerPort, Count: k},
+				Body:  body,
 			}
 			if e.inj.TryInject(msg) {
 				c.pending -= k
 				c.fwdShipped += k
 				e.FwdMsgsSent++
+			} else {
+				e.pool.PutFwd(body)
 			}
 		}
 	}
@@ -579,18 +596,19 @@ func (e *Engine) sendLineReq(line mem.Addr, write bool, port int, seq int64) boo
 	if write {
 		bytes = e.cfg.DRAM.LineBytes // write data travels with the request
 	}
+	body := e.pool.GetReq()
+	body.Line = line
+	body.Write = write
+	body.ReqID = proto.MakeReqID(e.lane, write, port, seq)
 	msg := noc.Message{
 		Kind:  noc.KindMemReq,
 		Src:   e.selfNode,
 		Dests: noc.DestMask(e.memNodes[chn]),
 		Bytes: bytes,
-		Body: proto.MemReqBody{
-			Line:  line,
-			Write: write,
-			ReqID: proto.MakeReqID(e.lane, write, port, seq),
-		},
+		Body:  body,
 	}
 	if !e.inj.TryInject(msg) {
+		e.pool.PutReq(body)
 		return false
 	}
 	if write {
@@ -601,11 +619,15 @@ func (e *Engine) sendLineReq(line mem.Addr, write bool, port int, seq int64) boo
 	return true
 }
 
-// OnMessage handles a NoC delivery addressed to this lane.
+// OnMessage handles a NoC delivery addressed to this lane. The lane is
+// the single consumer of *MemRespBody and *ForwardBody deliveries, so
+// it frees them back to its pool here — immediately after extracting
+// their fields, before any early return.
 func (e *Engine) OnMessage(msg noc.Message) {
 	switch body := msg.Body.(type) {
-	case proto.MemRespBody:
+	case *proto.MemRespBody:
 		lane, write, route, seq := proto.SplitReqID(body.ReqID)
+		e.pool.PutResp(body)
 		if lane != e.lane {
 			panic("stream: response for another lane")
 		}
@@ -660,13 +682,15 @@ func (e *Engine) OnMessage(msg noc.Message) {
 				e.advanceMcast(c)
 			}
 		}
-	case proto.ForwardBody:
-		c := e.reads[body.Port]
+	case *proto.ForwardBody:
+		port, count := body.Port, body.Count
+		e.pool.PutFwd(body)
+		c := e.reads[port]
 		if c.kind != SrcForward {
 			panic("stream: forward delivery to non-forward port")
 		}
-		c.avail += body.Count
-		e.FwdElemsRecv += int64(body.Count)
+		c.avail += count
+		e.FwdElemsRecv += int64(count)
 	default:
 		panic(fmt.Sprintf("stream: unexpected message body %T", msg.Body))
 	}

@@ -36,14 +36,14 @@ func (l *loopback) TryInject(msg noc.Message) bool {
 	}
 	l.sent = append(l.sent, msg)
 	switch body := msg.Body.(type) {
-	case proto.MemReqBody:
+	case *proto.MemReqBody:
 		resp := noc.Message{
 			Kind:  noc.KindMemResp,
 			Dests: noc.DestMask(msg.Src),
-			Body:  proto.MemRespBody{Line: body.Line, Write: body.Write, ReqID: body.ReqID},
+			Body:  &proto.MemRespBody{Line: body.Line, Write: body.Write, ReqID: body.ReqID},
 		}
 		l.pipe.SendAt(l.now+l.delay, resp)
-	case proto.ForwardBody:
+	case *proto.ForwardBody:
 		l.pipe.SendAt(l.now+l.delay, msg)
 	}
 	return true
@@ -148,7 +148,7 @@ func TestGatherAddrs(t *testing.T) {
 func newTestEngine(lb *loopback, lane int) *Engine {
 	cfg := testCfg()
 	spad := mem.NewSpad(cfg.Spad)
-	e := NewEngine(lane, cfg, lb.topo, lb, spad)
+	e := NewEngine(lane, cfg, lb.topo, lb, spad, nil)
 	lb.engines[lane] = e
 	return e
 }
@@ -203,7 +203,7 @@ func TestGatherGatedOnIndices(t *testing.T) {
 	if len(lb.sent) == 0 {
 		t.Fatal("no request issued")
 	}
-	first := lb.sent[0].Body.(proto.MemReqBody)
+	first := lb.sent[0].Body.(*proto.MemReqBody)
 	if first.Line != 0x1000 {
 		t.Fatalf("first request line %#x, want index line 0x1000", first.Line)
 	}

@@ -53,7 +53,7 @@ func TestPrefetchUsesLeftoverBudgetOnly(t *testing.T) {
 	lb.tick(e)
 	// All first-cycle requests must target the current stream.
 	for _, msg := range lb.sent {
-		body := msg.Body.(proto.MemReqBody)
+		body := msg.Body.(*proto.MemReqBody)
 		if body.Line >= 0x8000 {
 			t.Fatalf("prefetch request issued ahead of current task: %#x", body.Line)
 		}
@@ -158,6 +158,6 @@ func mkForward(srcNode, port, count int) noc.Message {
 	return noc.Message{
 		Kind: noc.KindForward,
 		Src:  srcNode,
-		Body: proto.ForwardBody{Port: port, Count: count},
+		Body: &proto.ForwardBody{Port: port, Count: count},
 	}
 }
