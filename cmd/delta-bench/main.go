@@ -38,6 +38,7 @@ import (
 	"strings"
 	"time"
 
+	"taskstream/internal/core"
 	"taskstream/internal/experiments"
 	"taskstream/internal/obs"
 	"taskstream/internal/parallel"
@@ -54,6 +55,8 @@ func main() {
 	server := flag.String("server", "", "resolve simulations through the delta-serve daemon at this URL")
 	shards := flag.Int("shards", 0,
 		"intra-simulation shard count for every run (byte-identical output); 0 reads TASKSTREAM_SHARDS; 1 forces serial")
+	policy := flag.String("policy", "",
+		"dispatch policy for every dynamic-dispatch run ("+strings.Join(core.PolicyNames(), ", ")+"); empty reads TASKSTREAM_POLICY")
 	flag.Parse()
 	if *jobs < 1 {
 		fmt.Fprintf(os.Stderr, "delta-bench: -j must be >= 1 (got %d)\n", *jobs)
@@ -63,11 +66,25 @@ func main() {
 		fmt.Fprintf(os.Stderr, "delta-bench: -shards must be >= 0 (got %d)\n", *shards)
 		os.Exit(1)
 	}
+	if *policy != "" {
+		if _, err := core.ParsePolicy(*policy); err != nil {
+			fmt.Fprintf(os.Stderr, "delta-bench: %v\n", err)
+			os.Exit(2)
+		}
+	}
 	if *shards > 0 {
 		// The experiment definitions build their own core.Options, so
 		// the shard count rides the environment default every machine
 		// constructor consults (core.resolveShards).
 		os.Setenv("TASKSTREAM_SHARDS", fmt.Sprint(*shards))
+	}
+	if *policy != "" {
+		// Same route as -shards: the run-time-dispatch baseline variants
+		// resolve their scheduler via core.AmbientPolicy, so the flag
+		// rides the environment. Unlike shards, the policy lands in every
+		// cache key (distinct policies never share entries). E16 pins its
+		// own policies explicitly and is unaffected.
+		os.Setenv("TASKSTREAM_POLICY", *policy)
 	}
 	experiments.SetWorkers(*jobs)
 

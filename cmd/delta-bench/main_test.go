@@ -36,7 +36,7 @@ func TestSelectExperiments(t *testing.T) {
 	if got := ids(" E3 , ,E3 "); got != "E3" { // whitespace + duplicates
 		t.Errorf("-only ' E3 , ,E3 ' selected %s", got)
 	}
-	if got := ids(""); !strings.HasPrefix(got, "E1,E2,") || !strings.HasSuffix(got, ",E15") {
+	if got := ids(""); !strings.HasPrefix(got, "E1,E2,") || !strings.HasSuffix(got, ",E16") {
 		t.Errorf("empty -only selected %s", got)
 	}
 

@@ -21,6 +21,7 @@ import (
 
 	"taskstream/internal/baseline"
 	"taskstream/internal/config"
+	"taskstream/internal/core"
 	"taskstream/internal/fabric"
 	"taskstream/internal/isa"
 	"taskstream/internal/obs"
@@ -36,6 +37,7 @@ type options struct {
 	variant  string
 	lanes    int
 	tasks    int
+	policy   string
 	timeline bool
 }
 
@@ -56,7 +58,20 @@ func (o options) validate() error {
 	if o.tasks < 0 {
 		return fmt.Errorf("-tasks must be >= 0 (got %d)", o.tasks)
 	}
+	if o.policy != "" {
+		if _, err := core.ParsePolicy(o.policy); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// applyPolicy overrides opts.Policy when -policy was given; validate
+// has already vetted the name.
+func (o options) applyPolicy(opts *core.Options) {
+	if o.policy != "" {
+		opts.Policy, _ = core.ParsePolicy(o.policy)
+	}
 }
 
 // variantByName resolves a variant display name.
@@ -90,6 +105,8 @@ func main() {
 	flag.StringVar(&o.variant, "variant", "delta", "execution model variant")
 	flag.IntVar(&o.lanes, "lanes", 8, "lane count")
 	flag.IntVar(&o.tasks, "tasks", 3, "sample task descriptors to dump")
+	flag.StringVar(&o.policy, "policy", "",
+		"dispatch policy override: "+strings.Join(core.PolicyNames(), "|")+"; empty keeps the variant's policy")
 	flag.BoolVar(&o.timeline, "timeline", false, "render a per-lane occupancy timeline")
 	flag.Parse()
 
@@ -131,6 +148,7 @@ func main() {
 
 	v, _ := variantByName(o.variant)
 	mcfg, opts := v.Configure(cfg)
+	o.applyPolicy(&opts)
 	var rec *trace.Recorder
 	if o.timeline {
 		rec = trace.New(200000)
@@ -173,6 +191,8 @@ func runStalls(args []string) {
 	fs.StringVar(&o.workload, "workload", "spmv", "suite workload name")
 	fs.StringVar(&o.variant, "variant", "delta", "execution model variant")
 	fs.IntVar(&o.lanes, "lanes", 8, "lane count")
+	fs.StringVar(&o.policy, "policy", "",
+		"dispatch policy override: "+strings.Join(core.PolicyNames(), "|")+"; empty keeps the variant's policy")
 	fs.StringVar(&traceOut, "trace-out", "",
 		"also write a Chrome trace-event / Perfetto JSON trace to this path")
 	fs.IntVar(&traceLimit, "trace-limit", 250000,
@@ -192,6 +212,7 @@ func runStalls(args []string) {
 	w := nb.Build()
 	v, _ := variantByName(o.variant)
 	cfg, opts := v.Configure(config.Default8().WithLanes(o.lanes))
+	o.applyPolicy(&opts)
 	sink := obs.New(traceLimit)
 	opts.Obs = sink
 	rep, err := baseline.RunCfg(cfg, opts, w.Prog, w.Storage)

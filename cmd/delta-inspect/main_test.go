@@ -25,6 +25,9 @@ func TestValidateFlags(t *testing.T) {
 		{"unknown variant", func(o *options) { o.variant = "turbo" }, "unknown variant"},
 		{"variant is case-sensitive", func(o *options) { o.variant = "Delta" }, "unknown variant"},
 		{"negative tasks", func(o *options) { o.tasks = -1 }, "-tasks"},
+		{"every policy passes", func(o *options) { o.policy = "pipeline" }, ""},
+		{"unknown policy", func(o *options) { o.policy = "fifo" }, "unknown policy"},
+		{"policy is case-sensitive", func(o *options) { o.policy = "Dynamic" }, "unknown policy"},
 		{"zero lanes", func(o *options) { o.lanes = 0 }, "-lanes"},
 		{"negative lanes", func(o *options) { o.lanes = -4 }, "-lanes"},
 	}

@@ -28,8 +28,10 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 
+	"taskstream/internal/core"
 	"taskstream/internal/runplan"
 	"taskstream/internal/store"
 )
@@ -42,6 +44,7 @@ type options struct {
 	storeMaxMB int64
 	jobs       int
 	shards     int
+	policy     string
 }
 
 // parseFlags binds the flag set over args (without the program name)
@@ -56,10 +59,22 @@ func parseFlags(args []string) (options, error) {
 	fs.IntVar(&o.jobs, "j", runtime.GOMAXPROCS(0), "max concurrent simulations")
 	fs.IntVar(&o.shards, "shards", 0,
 		"intra-simulation shard count for served runs (byte-identical results); 0 reads TASKSTREAM_SHARDS; 1 forces serial")
+	fs.StringVar(&o.policy, "policy", "",
+		"default dispatch policy for wire specs that omit one ("+strings.Join(core.PolicyNames(), ", ")+"); empty = dynamic")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
 	}
 	return o, nil
+}
+
+// validatePolicy checks the -policy name; unlike the structural flag
+// checks (exit 1), a bad policy name is a usage error and exits 2.
+func (o options) validatePolicy() error {
+	if o.policy == "" {
+		return nil
+	}
+	_, err := core.ParsePolicy(o.policy)
+	return err
 }
 
 // validate checks every flag value up front so main can exit 1 cleanly
@@ -94,6 +109,10 @@ func main() {
 	if err != nil {
 		os.Exit(2)
 	}
+	if err := o.validatePolicy(); err != nil {
+		fmt.Fprintf(os.Stderr, "delta-serve: %v\n", err)
+		os.Exit(2)
+	}
 	if err := o.validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "delta-serve: %v\n", err)
 		os.Exit(1)
@@ -126,7 +145,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "delta-serve: %v\n", err)
 		os.Exit(1)
 	}
-	srv := &http.Server{Handler: store.NewServer(runner, disk, o.jobs)}
+	handler := store.NewServer(runner, disk, o.jobs)
+	if o.policy != "" {
+		handler.SetDefaultPolicy(o.policy)
+		fmt.Fprintf(os.Stderr, "delta-serve: default policy %s\n", o.policy)
+	}
+	srv := &http.Server{Handler: handler}
 	fmt.Fprintf(os.Stderr, "delta-serve: listening on %s (-j %d)\n", ln.Addr(), o.jobs)
 
 	done := make(chan error, 1)

@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"strings"
 	"testing"
+
+	"taskstream/internal/core"
 )
 
 // TestParseFlagsDefaults pins the daemon's documented defaults: port
@@ -29,12 +31,13 @@ func TestParseFlagsDefaults(t *testing.T) {
 func TestParseFlagsPlumbing(t *testing.T) {
 	o, err := parseFlags([]string{
 		"-addr", ":9000", "-store", "/tmp/ds", "-store-max-mb", "512",
-		"-j", "3", "-shards", "8",
+		"-j", "3", "-shards", "8", "-policy", "streamgraph",
 	})
 	if err != nil {
 		t.Fatalf("parseFlags: %v", err)
 	}
-	want := options{addr: ":9000", storeDir: "/tmp/ds", storeMaxMB: 512, jobs: 3, shards: 8}
+	want := options{addr: ":9000", storeDir: "/tmp/ds", storeMaxMB: 512, jobs: 3,
+		shards: 8, policy: "streamgraph"}
 	if o != want {
 		t.Fatalf("parseFlags = %+v, want %+v", o, want)
 	}
@@ -80,6 +83,23 @@ func TestValidateFlags(t *testing.T) {
 				t.Fatalf("validate(%+v) = %q, want substring %q", o, err, c.wantErr)
 			}
 		})
+	}
+}
+
+// TestValidatePolicy pins the -policy check: every canonical name and
+// the empty default pass; anything else is a usage error (main exits 2).
+func TestValidatePolicy(t *testing.T) {
+	for _, name := range append(core.PolicyNames(), "") {
+		if err := (options{policy: name}.validatePolicy()); err != nil {
+			t.Errorf("validatePolicy(%q) = %v, want nil", name, err)
+		}
+	}
+	err := options{policy: "fifo"}.validatePolicy()
+	if err == nil {
+		t.Fatal("validatePolicy accepted an unknown policy name")
+	}
+	if !strings.Contains(err.Error(), "fifo") {
+		t.Fatalf("validatePolicy error %q does not name the bad policy", err)
 	}
 }
 

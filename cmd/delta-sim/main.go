@@ -28,11 +28,23 @@ type options struct {
 	variant    string
 	lanes      int
 	hints      string
+	policy     string
 	vet        bool
 	verbose    bool
 	shards     int
 	traceOut   string
 	traceLimit int
+}
+
+// validatePolicy checks the -policy name separately from the
+// structural flags: a bad policy name is a usage error and exits 2,
+// matching delta-bench and delta-serve.
+func (o options) validatePolicy() error {
+	if o.policy == "" {
+		return nil
+	}
+	_, err := core.ParsePolicy(o.policy)
+	return err
 }
 
 // validate checks every flag value up front, returning a usage-style
@@ -101,6 +113,8 @@ func main() {
 	flag.StringVar(&o.variant, "variant", "delta", "execution model: static|dyn-rr|+lb|+lb+mc|delta")
 	flag.IntVar(&o.lanes, "lanes", 8, "compute lane count")
 	flag.StringVar(&o.hints, "hints", "exact", "work-hint fidelity: exact|noisy|none")
+	flag.StringVar(&o.policy, "policy", "",
+		"dispatch policy override: "+strings.Join(core.PolicyNames(), "|")+"; empty keeps the variant's policy")
 	flag.BoolVar(&o.vet, "vet", true, "statically verify the program before running (delta-vet)")
 	flag.BoolVar(&o.verbose, "v", false, "print every counter")
 	flag.IntVar(&o.shards, "shards", 0,
@@ -111,6 +125,11 @@ func main() {
 		"max buffered trace events (0 = unbounded; metrics keep counting past the limit)")
 	flag.Parse()
 
+	if err := o.validatePolicy(); err != nil {
+		fmt.Fprintf(os.Stderr, "delta-sim: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 	if err := o.validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "delta-sim: %v\n", err)
 		flag.Usage()
@@ -126,6 +145,11 @@ func main() {
 	opts.Hints = hm
 	opts.Vet = o.vet
 	opts.Shards = o.shards
+	if o.policy != "" {
+		// Explicit -policy overrides the variant's resolved policy,
+		// including the static comparator's pin.
+		opts.Policy, _ = core.ParsePolicy(o.policy)
+	}
 	var sink *obs.Sink
 	if o.traceOut != "" {
 		sink = obs.New(o.traceLimit)

@@ -3,6 +3,8 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"taskstream/internal/core"
 )
 
 // TestValidateFlags pins the up-front flag validation: bad values must
@@ -77,5 +79,22 @@ func TestHintModeByName(t *testing.T) {
 	}
 	if _, err := hintModeByName("fuzzy"); err == nil {
 		t.Fatal("unknown hint mode must error")
+	}
+}
+
+// TestValidatePolicy pins the -policy check: every canonical name and
+// the empty default pass; typos are usage errors (main exits 2).
+func TestValidatePolicy(t *testing.T) {
+	for _, name := range append(core.PolicyNames(), "") {
+		if err := (options{policy: name}.validatePolicy()); err != nil {
+			t.Errorf("validatePolicy(%q) = %v, want nil", name, err)
+		}
+	}
+	err := options{policy: "fifo"}.validatePolicy()
+	if err == nil {
+		t.Fatal("validatePolicy accepted an unknown policy name")
+	}
+	if !strings.Contains(err.Error(), "fifo") {
+		t.Fatalf("validatePolicy error %q does not name the bad policy", err)
 	}
 }

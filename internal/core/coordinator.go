@@ -8,19 +8,6 @@ import (
 	"taskstream/internal/trace"
 )
 
-// Policy selects how the machine distributes tasks over lanes.
-type Policy uint8
-
-const (
-	// PolicyDynamic is the TaskStream coordinator: run-time dispatch,
-	// work-aware when the config enables it, round-robin otherwise.
-	PolicyDynamic Policy = iota
-	// PolicyStatic is the equivalent static-parallel design: tasks are
-	// block-partitioned over lanes before each phase begins and strict
-	// phase barriers apply.
-	PolicyStatic
-)
-
 // HintMode controls the fidelity of work hints (experiment E12).
 type HintMode uint8
 
@@ -37,11 +24,15 @@ const (
 // ctlLatency models the coordinator's control-network round trip.
 const ctlLatency sim.Cycle = 4
 
-// coordinator is the TaskStream hardware: global task queues, the
-// dispatch policy, forwarding pairing, and phase tracking.
+// coordinator is the TaskStream hardware shared by every dispatch
+// policy: global task queues, phase tracking, the per-lane
+// outstanding-work load model, forward-group formation, and control
+// pipes. The policy itself — which task goes to which lane — is the
+// pluggable Scheduler (scheduler.go, DESIGN.md §17).
 type coordinator struct {
-	m      *Machine
-	policy Policy
+	m     *Machine
+	sched Scheduler
+	state SchedState
 
 	// pending[phase] is the FIFO of undispatched tasks per phase.
 	pending [][]Task
@@ -53,7 +44,6 @@ type coordinator struct {
 
 	// laneWork is the outstanding work estimate per lane.
 	laneWork []int64
-	rr       int // round-robin cursor
 
 	// consumersByTag indexes pending tasks that consume a forward tag.
 	consumersByTag map[uint64]int // tag → phase (lookup hint)
@@ -63,9 +53,6 @@ type coordinator struct {
 	spawnsPipe    *sim.Pipe[Task]
 	spawnInFlight int
 
-	// Static policy state: per-lane assignment built at phase start.
-	staticAssigned []int // index into pending list → lane (parallel)
-
 	// Stats.
 	Dispatched   int64
 	Spawned      int64
@@ -74,9 +61,13 @@ type coordinator struct {
 }
 
 func newCoordinator(m *Machine, policy Policy) *coordinator {
+	sched, err := newScheduler(policy)
+	if err != nil {
+		panic(err) // NewMachine validates the policy first
+	}
 	c := &coordinator{
 		m:              m,
-		policy:         policy,
+		sched:          sched,
 		pending:        make([][]Task, m.prog.NumPhases),
 		pendingCount:   make([]int, m.prog.NumPhases),
 		activeCount:    make([]int, m.prog.NumPhases),
@@ -85,6 +76,7 @@ func newCoordinator(m *Machine, policy Policy) *coordinator {
 		completions:    sim.NewPipe[completeEvt](ctlLatency),
 		spawnsPipe:     sim.NewPipe[Task](ctlLatency),
 	}
+	c.state = SchedState{c: c}
 	for _, t := range m.prog.Tasks {
 		c.accept(t)
 	}
@@ -128,11 +120,12 @@ func (c *coordinator) AllDone() bool {
 
 // NextEvent reports when the coordinator can next act: at control-pipe
 // maturity (completions, spawns), at the multicast manager's next
-// deadline, or immediately when the current phase has pending tasks and
-// some lane has queue space. Pending tasks with every lane queue full
-// contribute no event: dispatch (including forward-group formation,
-// which also needs free lanes) cannot progress until a lane drains, and
-// lanes with queued tasks always forecast their own activity.
+// deadline, at the scheduler's own next deadline, or immediately when
+// the current phase has pending tasks and some lane has queue space.
+// Pending tasks with every lane queue full contribute no event:
+// dispatch (including forward-group formation, which also needs free
+// lanes) cannot progress until a lane drains, and lanes with queued
+// tasks always forecast their own activity.
 func (c *coordinator) NextEvent(now sim.Cycle) sim.Cycle {
 	ev := c.completions.NextAt()
 	if ev <= now {
@@ -148,6 +141,11 @@ func (c *coordinator) NextEvent(now sim.Cycle) sim.Cycle {
 	} else if mc < ev {
 		ev = mc
 	}
+	if sv := c.sched.NextEvent(now); sv <= now {
+		return now
+	} else if sv < ev {
+		ev = sv
+	}
 	if c.pendingCount[c.phase] > 0 {
 		for i := 0; i < c.m.cfg.Lanes; i++ {
 			if c.m.lanes[i].QueueSpace() > 0 {
@@ -158,13 +156,16 @@ func (c *coordinator) NextEvent(now sim.Cycle) sim.Cycle {
 	return ev
 }
 
-// Skip replays the barrier-wait accounting of skipped cycles: every
+// Skip replays the barrier-wait accounting of skipped cycles — every
 // cycle with an empty current-phase queue but active tasks records one
-// wait (the first dispatchOne call of that cycle's Tick would have).
+// wait (the first dispatchOne call of that cycle's Tick would have) —
+// and forwards the range to the scheduler for its own per-cycle
+// accounting.
 func (c *coordinator) Skip(from, to sim.Cycle) {
 	if c.pendingCount[c.phase] == 0 && c.activeCount[c.phase] > 0 {
 		c.BarrierWaits += int64(to - from)
 	}
+	c.sched.Skip(from, to)
 }
 
 // Tick drains control pipes, advances phases, runs the multicast
@@ -180,6 +181,7 @@ func (c *coordinator) Tick(now sim.Cycle) {
 		if c.activeCount[ev.phase] < 0 {
 			panic("core: completion underflow")
 		}
+		c.sched.TaskCompleted(&c.state, ev.lane, ev.hint)
 	}
 	for {
 		t, ok := c.spawnsPipe.Recv(now)
@@ -201,7 +203,7 @@ func (c *coordinator) Tick(now sim.Cycle) {
 		c.pendingCount[c.phase] == 0 && c.activeCount[c.phase] == 0 &&
 		c.spawnInFlight == 0 {
 		c.phase++
-		c.staticAssigned = nil
+		c.sched.PhaseStart(&c.state, c.phase)
 	}
 
 	c.m.mcast.tick(now, 8, c.m.submitMcast)
@@ -215,54 +217,31 @@ func (c *coordinator) Tick(now sim.Cycle) {
 	}
 }
 
-// dispatchOne dispatches the next eligible task, reporting success.
+// dispatchOne dispatches the next eligible task through the scheduler,
+// reporting success.
 func (c *coordinator) dispatchOne(now sim.Cycle) bool {
-	q := c.pending[c.phase]
-	if len(q) == 0 {
+	if len(c.pending[c.phase]) == 0 {
 		if c.activeCount[c.phase] > 0 {
 			c.BarrierWaits++
 		}
 		return false
 	}
-	switch c.policy {
-	case PolicyStatic:
-		return c.dispatchStatic(now)
-	default:
-		return c.dispatchDynamic(now)
-	}
+	return c.sched.Dispatch(&c.state, now)
 }
 
-// dispatchDynamic implements the TaskStream policies. When the head
-// task produces a tagged stream and forwarding is enabled, the
-// coordinator tries to co-dispatch the whole forward group — every
-// still-pending producer the consumer needs, plus the consumer — onto
-// distinct lanes, recovering the pipelined inter-task dependence. If
-// the group cannot be formed (consumer missing, producers missing,
-// too few free lanes) the task runs alone with memory-mediated output.
-func (c *coordinator) dispatchDynamic(now sim.Cycle) bool {
-	t := c.pending[c.phase][0]
-	if tag := t.ProducesTag(); tag != 0 && c.m.cfg.Task.EnableForwarding {
-		if c.tryForwardGroup(t, tag) {
-			return true
-		}
-	}
-	lane := c.pickLane()
-	if lane < 0 {
+// tryForwardGroup attempts to co-dispatch the forward group seeded by
+// the producer at index idx of the current phase queue: the consumer
+// of its tag, and any other pending producers that consumer requires.
+// choose supplies the policy's lane selection: given the group
+// members' effective work hints (producers in order, consumer last)
+// it returns that many distinct lanes with queue space, aligned to the
+// weights, or nil to refuse. Reports whether the group dispatched.
+func (c *coordinator) tryForwardGroup(idx int, choose func(weights []int64) []int) bool {
+	t := c.pending[c.phase][idx]
+	tag := t.ProducesTag()
+	if tag == 0 {
 		return false
 	}
-	c.popCurrent(0)
-	r, err := c.m.resolve(t, lane, resolveOpts{})
-	if err != nil {
-		panic(err)
-	}
-	c.send(r, lane)
-	return true
-}
-
-// tryForwardGroup attempts to co-dispatch the head producer t, the
-// consumer of its tag, and any other pending producers that consumer
-// requires. Reports whether the group dispatched.
-func (c *coordinator) tryForwardGroup(t Task, tag uint64) bool {
 	ph, ok := c.consumersByTag[tag]
 	if !ok {
 		return false
@@ -272,13 +251,13 @@ func (c *coordinator) tryForwardGroup(t Task, tag uint64) bool {
 		return false
 	}
 	consumer := c.pending[ph][ci]
-	// Collect every producer the consumer still needs. The head task t
+	// Collect every producer the consumer still needs. The seed task t
 	// is one of them; others must be pending in the current phase.
 	type pick struct {
 		phase, idx int
 	}
 	producers := []Task{t}
-	removals := []pick{{c.phase, 0}, {ph, ci}}
+	removals := []pick{{c.phase, idx}, {ph, ci}}
 	fwdTags := map[uint64]bool{tag: true}
 	for _, in := range consumer.Ins {
 		if in.Kind != ArgForwardIn || in.Tag == tag {
@@ -295,7 +274,12 @@ func (c *coordinator) tryForwardGroup(t Task, tag uint64) bool {
 		removals = append(removals, pick{c.phase, pj})
 		fwdTags[in.Tag] = true
 	}
-	lanes := c.chooseDistinctLanes(len(producers) + 1)
+	weights := make([]int64, len(producers)+1)
+	for i, p := range producers {
+		weights[i] = c.m.effectiveHint(&p)
+	}
+	weights[len(producers)] = c.m.effectiveHint(&consumer)
+	lanes := choose(weights)
 	if lanes == nil {
 		return false
 	}
@@ -366,34 +350,6 @@ func (c *coordinator) findPending(ph int, pred func(*Task) bool) int {
 	return -1
 }
 
-// chooseDistinctLanes picks k distinct lanes with queue space (by the
-// active dispatch policy's preference), or nil if impossible.
-func (c *coordinator) chooseDistinctLanes(k int) []int {
-	chosen := make([]int, 0, k)
-	used := make(map[int]bool, k)
-	for len(chosen) < k {
-		best := -1
-		var bestWork int64
-		for i := 0; i < c.m.cfg.Lanes; i++ {
-			if used[i] || c.m.lanes[i].QueueSpace() == 0 {
-				continue
-			}
-			if best < 0 || c.laneWork[i] < bestWork {
-				best, bestWork = i, c.laneWork[i]
-			}
-		}
-		if best < 0 {
-			return nil
-		}
-		used[best] = true
-		chosen = append(chosen, best)
-	}
-	return chosen
-}
-
-// popCurrent removes index i from the current phase queue.
-func (c *coordinator) popCurrent(i int) { c.removePending(c.phase, i) }
-
 func (c *coordinator) removePending(ph, i int) {
 	q := c.pending[ph]
 	c.pending[ph] = append(q[:i:i], q[i+1:]...)
@@ -427,72 +383,7 @@ func (c *coordinator) send(r *resolved, lane int) {
 	})
 }
 
-// pickLane chooses a dispatch target with queue space, or -1.
-func (c *coordinator) pickLane() int { return c.pickLaneExcluding(-1) }
-
-// pickLaneExcluding chooses a lane other than skip (unless none
-// qualifies). Work-aware: least outstanding work; otherwise
-// round-robin.
-func (c *coordinator) pickLaneExcluding(skip int) int {
-	n := c.m.cfg.Lanes
-	if c.m.cfg.Task.EnableWorkAwareLB {
-		best, bestWork := -1, int64(0)
-		for i := 0; i < n; i++ {
-			if i == skip || c.m.lanes[i].QueueSpace() == 0 {
-				continue
-			}
-			if best < 0 || c.laneWork[i] < bestWork {
-				best, bestWork = i, c.laneWork[i]
-			}
-		}
-		return best
-	}
-	for k := 0; k < n; k++ {
-		i := (c.rr + k) % n
-		if i == skip || c.m.lanes[i].QueueSpace() == 0 {
-			continue
-		}
-		c.rr = (i + 1) % n
-		return i
-	}
-	return -1
-}
-
-// dispatchStatic implements the static-parallel comparator: at phase
-// start, the phase's task list is block-partitioned over lanes in
-// arrival order; each task may only run on its assigned lane.
-func (c *coordinator) dispatchStatic(now sim.Cycle) bool {
-	q := c.pending[c.phase]
-	if c.staticAssigned == nil {
-		// Build the partition once per phase: contiguous blocks, the
-		// compile-time division the paper's baseline uses.
-		n := len(q)
-		c.staticAssigned = make([]int, n)
-		lanes := c.m.cfg.Lanes
-		for i := 0; i < n; i++ {
-			c.staticAssigned[i] = i * lanes / n
-		}
-	}
-	// Dispatch the first task whose assigned lane has queue space.
-	for i := 0; i < len(q); i++ {
-		lane := c.staticAssigned[i]
-		if c.m.lanes[lane].QueueSpace() == 0 {
-			continue
-		}
-		t := q[i]
-		c.removePending(c.phase, i)
-		c.staticAssigned = append(c.staticAssigned[:i:i], c.staticAssigned[i+1:]...)
-		r, err := c.m.resolve(t, lane, resolveOpts{})
-		if err != nil {
-			panic(err)
-		}
-		c.send(r, lane)
-		return true
-	}
-	return false
-}
-
-// Imbalance returns the per-lane busy-cycle vector for reporting.
+// laneBusy returns the per-lane busy-cycle vector for reporting.
 func (c *coordinator) laneBusy() []int64 {
 	out := make([]int64, len(c.m.lanes))
 	for i, l := range c.m.lanes {

@@ -108,6 +108,10 @@ func NewMachine(cfg config.Config, prog *Program, storage *mem.Storage, opts Opt
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if opts.Policy >= NumPolicies {
+		return nil, fmt.Errorf("core: unknown policy %d (valid: %v)",
+			uint8(opts.Policy), PolicyNames())
+	}
 	if err := prog.Validate(); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,50 @@
+package core
+
+import "taskstream/internal/sim"
+
+// staticSched is the static-parallel comparator (PolicyStatic): at
+// phase start, the phase's task list is block-partitioned over lanes
+// in arrival order; each task may only run on its assigned lane. It
+// never forms forward groups — dependences stay memory-mediated, as
+// in the paper's baseline.
+type staticSched struct {
+	// assigned is the per-task lane assignment, parallel to the current
+	// phase's pending queue; nil until the first dispatch attempt of
+	// the phase builds it.
+	assigned []int
+}
+
+func (st *staticSched) Name() string { return PolicyStatic.String() }
+
+func (st *staticSched) Dispatch(s *SchedState, now sim.Cycle) bool {
+	q := s.Pending()
+	if st.assigned == nil {
+		// Build the partition once per phase: contiguous blocks, the
+		// compile-time division the paper's baseline uses.
+		n := len(q)
+		st.assigned = make([]int, n)
+		lanes := s.NumLanes()
+		for i := 0; i < n; i++ {
+			st.assigned[i] = i * lanes / n
+		}
+	}
+	// Dispatch the first task whose assigned lane has queue space.
+	for i := 0; i < len(q) && i < len(st.assigned); i++ {
+		lane := st.assigned[i]
+		if s.QueueFree(lane) == 0 {
+			continue
+		}
+		st.assigned = append(st.assigned[:i:i], st.assigned[i+1:]...)
+		s.Dispatch(i, lane)
+		return true
+	}
+	return false
+}
+
+// PhaseStart drops the previous phase's partition; the next dispatch
+// attempt rebuilds it over the new phase's queue.
+func (st *staticSched) PhaseStart(s *SchedState, p int) { st.assigned = nil }
+
+func (st *staticSched) TaskCompleted(s *SchedState, lane int, h int64) {}
+func (st *staticSched) NextEvent(now sim.Cycle) sim.Cycle              { return sim.Never }
+func (st *staticSched) Skip(from, to sim.Cycle)                        {}

@@ -1,0 +1,217 @@
+package core
+
+import "taskstream/internal/sim"
+
+// streamGraphSched is the De Matteis-style streaming task-graph
+// scheduler (PolicyStreamGraph, HPDC'23): lanes are spatially
+// partitioned into per-task-type regions sized in proportion to each
+// type's pending work, so one type's burst cannot crowd every lane and
+// lanes rarely switch fabric configurations. Temporal re-balancing
+// recomputes the partition after Sched.RebalanceTasks completions when
+// the observed lane load skew exceeds Sched.SkewPct — an event-driven
+// trigger (completion counts are identical with §11 fast-forwarding on
+// or off), never a per-tick one.
+type streamGraphSched struct {
+	// regions[typeID] lists the lanes of that type's spatial region;
+	// nil until the first dispatch attempt of a phase builds it.
+	regions [][]int
+	// sinceRebalance counts completions since the partition was last
+	// (re)built.
+	sinceRebalance int
+}
+
+func (g *streamGraphSched) Name() string { return PolicyStreamGraph.String() }
+
+func (g *streamGraphSched) Dispatch(s *SchedState, now sim.Cycle) bool {
+	if g.regions == nil || g.rebalanceDue(s) {
+		g.rebuild(s)
+	}
+	q := s.Pending()
+	// Head-first forward groups, as in the dynamic policy; group lanes
+	// are chosen least-loaded across regions, since a group inherently
+	// spans the producer and consumer types' partitions.
+	if t := &q[0]; t.ProducesTag() != 0 && s.ForwardingEnabled() {
+		if s.TryForwardGroup(0, func(w []int64) []int { return leastLoadedDistinct(s, len(w)) }) {
+			return true
+		}
+	}
+	// Spatial dispatch: the first pending task whose region has a free
+	// lane. Scanning past a region-blocked head keeps other types'
+	// regions fed instead of head-of-line blocking the whole machine.
+	for i := range q {
+		lane := g.pickInRegion(s, q[i].Type)
+		if lane < 0 {
+			continue
+		}
+		s.Dispatch(i, lane)
+		return true
+	}
+	return false
+}
+
+// rebalanceDue applies the temporal trigger: enough completions since
+// the last partition, and lane load skewed past the threshold. The
+// completion counter resets on every check so a balanced machine is
+// re-examined only every RebalanceTasks completions, not every
+// dispatch.
+func (g *streamGraphSched) rebalanceDue(s *SchedState) bool {
+	cad := s.Sched().RebalanceTasks
+	if cad <= 0 || g.sinceRebalance < cad {
+		return false
+	}
+	g.sinceRebalance = 0
+	n := s.NumLanes()
+	min, max, total := s.LaneWork(0), s.LaneWork(0), int64(0)
+	for i := 0; i < n; i++ {
+		w := s.LaneWork(i)
+		if w < min {
+			min = w
+		}
+		if w > max {
+			max = w
+		}
+		total += w
+	}
+	mean := total / int64(n)
+	return max-min > mean*int64(s.Sched().SkewPct)/100
+}
+
+// rebuild computes the spatial partition from the current phase's
+// pending work per type: every active type gets at least one lane,
+// the rest are apportioned by largest remainder of the work shares.
+// With more active types than lanes, types share lanes round-robin.
+// Fully deterministic: ties break toward lower type ids.
+func (g *streamGraphSched) rebuild(s *SchedState) {
+	nt, n := s.NumTypes(), s.NumLanes()
+	g.regions = make([][]int, nt)
+	g.sinceRebalance = 0
+	work := make([]int64, nt)
+	var total int64
+	q := s.Pending()
+	for i := range q {
+		h := s.Hint(&q[i])
+		work[q[i].Type] += h
+		total += h
+	}
+	var active []int
+	for t := 0; t < nt; t++ {
+		if work[t] > 0 {
+			active = append(active, t)
+		}
+	}
+	if len(active) == 0 {
+		return
+	}
+	if len(active) >= n {
+		for r, t := range active {
+			g.regions[t] = []int{r % n}
+		}
+		return
+	}
+	// One lane each, then largest-remainder apportionment of the rest.
+	counts := make([]int, len(active))
+	spare := n - len(active)
+	type rem struct {
+		idx  int
+		frac int64
+	}
+	rems := make([]rem, len(active))
+	given := 0
+	for i, t := range active {
+		counts[i] = 1
+		share := work[t] * int64(spare) / total
+		counts[i] += int(share)
+		given += int(share)
+		rems[i] = rem{i, work[t]*int64(spare) - share*total}
+	}
+	for left := spare - given; left > 0; left-- {
+		best := 0
+		for i := 1; i < len(rems); i++ {
+			if rems[i].frac > rems[best].frac {
+				best = i
+			}
+		}
+		counts[rems[best].idx]++
+		rems[best].frac = -1
+	}
+	// Contiguous lane blocks in type-id order.
+	lane := 0
+	for i, t := range active {
+		for k := 0; k < counts[i]; k++ {
+			g.regions[t] = append(g.regions[t], lane)
+			lane++
+		}
+	}
+}
+
+// pickInRegion chooses the least-loaded free lane in the type's
+// region, falling back to a global least-loaded pick for types that
+// appeared (via spawn) after the partition was built.
+func (g *streamGraphSched) pickInRegion(s *SchedState, typeID int) int {
+	region := g.regions[typeID]
+	if len(region) == 0 {
+		return leastLoadedLane(s)
+	}
+	best, bestWork := -1, int64(0)
+	for _, i := range region {
+		if s.QueueFree(i) == 0 {
+			continue
+		}
+		if best < 0 || s.LaneWork(i) < bestWork {
+			best, bestWork = i, s.LaneWork(i)
+		}
+	}
+	return best
+}
+
+// PhaseStart drops the partition; the next dispatch attempt rebuilds
+// it over the new phase's type mix.
+func (g *streamGraphSched) PhaseStart(s *SchedState, p int) { g.regions = nil }
+
+// TaskCompleted drives the temporal re-balancing cadence.
+func (g *streamGraphSched) TaskCompleted(s *SchedState, lane int, h int64) {
+	g.sinceRebalance++
+}
+
+func (g *streamGraphSched) NextEvent(now sim.Cycle) sim.Cycle { return sim.Never }
+func (g *streamGraphSched) Skip(from, to sim.Cycle)           {}
+
+// leastLoadedLane picks the free lane with least outstanding work, or
+// -1. Shared by the streamgraph and pipeline policies.
+func leastLoadedLane(s *SchedState) int {
+	best, bestWork := -1, int64(0)
+	for i, n := 0, s.NumLanes(); i < n; i++ {
+		if s.QueueFree(i) == 0 {
+			continue
+		}
+		if best < 0 || s.LaneWork(i) < bestWork {
+			best, bestWork = i, s.LaneWork(i)
+		}
+	}
+	return best
+}
+
+// leastLoadedDistinct picks k distinct free lanes by least outstanding
+// work, or nil if impossible.
+func leastLoadedDistinct(s *SchedState, k int) []int {
+	n := s.NumLanes()
+	chosen := make([]int, 0, k)
+	used := make(map[int]bool, k)
+	for len(chosen) < k {
+		best, bestWork := -1, int64(0)
+		for i := 0; i < n; i++ {
+			if used[i] || s.QueueFree(i) == 0 {
+				continue
+			}
+			if best < 0 || s.LaneWork(i) < bestWork {
+				best, bestWork = i, s.LaneWork(i)
+			}
+		}
+		if best < 0 {
+			return nil
+		}
+		used[best] = true
+		chosen = append(chosen, best)
+	}
+	return chosen
+}

@@ -612,6 +612,7 @@ func Registry() []Named {
 		{"E13", E13QueueDepth},
 		{"E14", E14Energy},
 		{"E15", E15Inference},
+		{"E16", E16Policies},
 	}
 }
 

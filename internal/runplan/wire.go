@@ -24,13 +24,17 @@ type WireSpec struct {
 
 // WireOptions is the serializable subset of core.Options — exactly
 // the fields Options.CacheKey encodes, so a wire round-trip preserves
-// the spec's content address.
+// the spec's content address. The policy crosses the wire by its
+// canonical name rather than its enum value, so the protocol stays
+// readable and unknown policies fail with a client-attributable error;
+// an empty name means "the daemon's default policy" (delta-serve
+// -policy, dynamic unless overridden).
 type WireOptions struct {
-	Policy             uint8 `json:"policy"`
-	Hints              uint8 `json:"hints"`
-	MaxCycles          int64 `json:"max_cycles,omitempty"`
-	Vet                bool  `json:"vet,omitempty"`
-	DisableFastForward bool  `json:"disable_fast_forward,omitempty"`
+	Policy             string `json:"policy,omitempty"`
+	Hints              uint8  `json:"hints"`
+	MaxCycles          int64  `json:"max_cycles,omitempty"`
+	Vet                bool   `json:"vet,omitempty"`
+	DisableFastForward bool   `json:"disable_fast_forward,omitempty"`
 }
 
 // Wire converts the spec to its serialized form. Uncacheable specs
@@ -46,7 +50,7 @@ func (s Spec) Wire() (WireSpec, error) {
 		Workload: s.Workload.Name,
 		Config:   s.Config,
 		Opts: WireOptions{
-			Policy:             uint8(n.Policy),
+			Policy:             n.Policy.String(),
 			Hints:              uint8(n.Hints),
 			MaxCycles:          int64(n.MaxCycles),
 			Vet:                n.Vet,
@@ -56,12 +60,20 @@ func (s Spec) Wire() (WireSpec, error) {
 }
 
 // Spec rebuilds the runnable spec: the workload name resolves to its
-// builder and the config is validated before anything executes, so a
-// malformed wire spec fails fast with a client-attributable error.
+// builder, the policy name parses, and the config is validated before
+// anything executes, so a malformed wire spec fails fast with a
+// client-attributable error. An empty policy name means PolicyDynamic;
+// daemons with a different default rewrite it before calling Spec.
 func (w WireSpec) Spec() (Spec, error) {
 	nb, err := workload.Resolve(w.Workload)
 	if err != nil {
 		return Spec{}, err
+	}
+	policy := core.PolicyDynamic
+	if w.Opts.Policy != "" {
+		if policy, err = core.ParsePolicy(w.Opts.Policy); err != nil {
+			return Spec{}, err
+		}
 	}
 	if err := w.Config.Validate(); err != nil {
 		return Spec{}, err
@@ -70,7 +82,7 @@ func (w WireSpec) Spec() (Spec, error) {
 		Workload: nb,
 		Config:   w.Config,
 		Opts: core.Options{
-			Policy:             core.Policy(w.Opts.Policy),
+			Policy:             policy,
 			Hints:              core.HintMode(w.Opts.Hints),
 			MaxCycles:          sim.Cycle(w.Opts.MaxCycles),
 			Vet:                w.Opts.Vet,

@@ -6,6 +6,7 @@ import (
 
 	"taskstream/internal/baseline"
 	"taskstream/internal/config"
+	"taskstream/internal/core"
 	"taskstream/internal/runplan"
 	"taskstream/internal/trace"
 	"taskstream/internal/workload"
@@ -91,5 +92,40 @@ func TestWireSpecRejectsBadInputs(t *testing.T) {
 	bad.Config.Lanes = 0
 	if _, err := bad.Spec(); err == nil {
 		t.Error("invalid config accepted")
+	}
+}
+
+// TestWirePolicyRoundTrip pins that the policy crosses the wire by its
+// canonical name: every policy survives the round-trip with its content
+// address intact, an omitted name means dynamic, and an unknown name is
+// rejected before anything executes.
+func TestWirePolicyRoundTrip(t *testing.T) {
+	cfg := config.Default8()
+	nb := *workload.ByName("hist")
+	for p := core.Policy(0); p < core.NumPolicies; p++ {
+		s := runplan.ForVariant(nb, baseline.Delta, cfg)
+		s.Opts.Policy = p
+		s2 := roundTrip(t, s)
+		if s2.Opts.Policy != p {
+			t.Errorf("policy %s arrived as %s", p, s2.Opts.Policy)
+		}
+	}
+
+	w, err := runplan.ForVariant(nb, baseline.Delta, cfg).Wire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Opts.Policy = ""
+	s, err := w.Spec()
+	if err != nil {
+		t.Fatalf("empty policy name rejected: %v", err)
+	}
+	if s.Opts.Policy != core.PolicyDynamic {
+		t.Fatalf("empty policy name resolved to %s, want dynamic", s.Opts.Policy)
+	}
+
+	w.Opts.Policy = "fifo"
+	if _, err := w.Spec(); err == nil {
+		t.Fatal("unknown policy name resolved")
 	}
 }

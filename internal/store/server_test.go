@@ -201,3 +201,54 @@ func TestServerWarmFractionContract(t *testing.T) {
 		t.Fatalf("warm pass cache-served fraction %.2f < 0.95 (%v)", frac, cachedWarm)
 	}
 }
+
+// TestServerDefaultPolicy pins the delta-serve -policy contract: a wire
+// spec omitting its policy name resolves under the daemon's default
+// (and therefore to that policy's cache key), a spec naming a policy
+// keeps it, and an unknown name is the client's fault — HTTP 400.
+func TestServerDefaultPolicy(t *testing.T) {
+	r := runplan.NewRunner()
+	r.SetDisabled(false)
+	srv := NewServer(r, mustOpen(t, t.TempDir(), 0), 4)
+	srv.SetDefaultPolicy("static")
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	c := NewClient(ts.URL)
+
+	keyFor := func(policy string) string {
+		t.Helper()
+		ws := wireSpec(t, histSpec())
+		ws.Opts.Policy = policy
+		spec, err := ws.Spec()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return spec.Key()
+	}
+
+	omitted := wireSpec(t, histSpec())
+	omitted.Opts.Policy = ""
+	if got := srv.resolve(omitted); got.Error != "" || got.Key != keyFor("static") {
+		t.Fatalf("omitted policy resolved to key %s (err %q), want the static key %s",
+			got.Key, got.Error, keyFor("static"))
+	}
+
+	explicit := wireSpec(t, histSpec())
+	explicit.Opts.Policy = "dynamic"
+	if got := srv.resolve(explicit); got.Error != "" || got.Key != keyFor("dynamic") {
+		t.Fatalf("explicit policy was overridden: key %s (err %q), want %s",
+			got.Key, got.Error, keyFor("dynamic"))
+	}
+
+	bad := wireSpec(t, histSpec())
+	bad.Opts.Policy = "fifo"
+	body, _ := json.Marshal(RunRequest{Spec: bad})
+	resp, err := http.Post(c.base+"/v1/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown policy returned HTTP %d, want 400", resp.StatusCode)
+	}
+}

@@ -52,6 +52,20 @@ func Resolve(name string) (NamedBuilder, error) {
 			Build: func() *Workload { return SpMV(p) },
 		}, nil
 	}
+	if base, param, ok := strings.Cut(name, "-a"); ok && base == "spmv" {
+		// "spmv-a<N>": SpMV with power-law exponent N/100 — the E16 skew
+		// sweep's grammar (smaller alpha = heavier row-length tail).
+		centi, err := strconv.Atoi(param)
+		if err != nil || centi <= 0 || strconv.Itoa(centi) != param {
+			return NamedBuilder{}, fmt.Errorf("workload: bad alpha in %q", name)
+		}
+		p := DefaultSpMV()
+		p.Alpha = float64(centi) / 100
+		return NamedBuilder{
+			Name:  name,
+			Build: func() *Workload { return SpMV(p) },
+		}, nil
+	}
 	// Snapshot under the lock, iterate outside it: resolvers may
 	// themselves call Resolve (the "+inferred" suffix recurses on its
 	// base name), and a recursive RLock could deadlock against a

@@ -47,3 +47,26 @@ func TestResolveUnknown(t *testing.T) {
 		}
 	}
 }
+
+func TestResolveAlphaGrammar(t *testing.T) {
+	nb, err := Resolve("spmv-a110")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := nb.Build()
+	// Alpha 1.10 skews the power-law row lengths harder than the
+	// default 1.5, so the task-size distribution must actually differ.
+	def := SpMV(DefaultSpMV())
+	if DefaultSpMV().Alpha == 1.10 {
+		t.Fatal("test fixture degenerate: default alpha is already 1.10")
+	}
+	if w.TaskSizes.Sum() == def.TaskSizes.Sum() {
+		t.Fatalf("spmv-a110 has the same total work as default spmv (%d)", def.TaskSizes.Sum())
+	}
+
+	for _, bad := range []string{"spmv-a", "spmv-a0", "spmv-a-9", "spmv-ax", "spmv-a099"} {
+		if _, err := Resolve(bad); err == nil {
+			t.Errorf("Resolve(%q) accepted a malformed alpha", bad)
+		}
+	}
+}
