@@ -43,6 +43,7 @@ import (
 	"taskstream/internal/obs"
 	"taskstream/internal/parallel"
 	"taskstream/internal/runplan"
+	"taskstream/internal/sim"
 	"taskstream/internal/store"
 )
 
@@ -57,6 +58,11 @@ func main() {
 		"intra-simulation shard count for every run (byte-identical output); 0 reads TASKSTREAM_SHARDS; 1 forces serial")
 	policy := flag.String("policy", "",
 		"dispatch policy for every dynamic-dispatch run ("+strings.Join(core.PolicyNames(), ", ")+"); empty reads TASKSTREAM_POLICY")
+	hostprof := flag.Bool("hostprof", false,
+		"profile host wall-clock time inside the engines; per-phase and per-shard attribution to stderr (stdout unchanged)")
+	scaling := flag.Bool("scaling", false,
+		"run the E17 shard-scaling measurement (wall-clock; shards 1,2,4,8) instead of the experiment suite")
+	reps := flag.Int("reps", 3, "repetitions per shard point in -scaling mode (best-of)")
 	flag.Parse()
 	if *jobs < 1 {
 		fmt.Fprintf(os.Stderr, "delta-bench: -j must be >= 1 (got %d)\n", *jobs)
@@ -87,6 +93,31 @@ func main() {
 		os.Setenv("TASKSTREAM_POLICY", *policy)
 	}
 	experiments.SetWorkers(*jobs)
+	if *hostprof {
+		sim.SetHostProf(true)
+	}
+
+	if *scaling {
+		// E17 rides its own mode: wall-clock tables must never mix into
+		// the byte-identical suite stdout (see internal/experiments/scaling.go).
+		r, err := experiments.RunShardScaling(nil, *reps)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "delta-bench: -scaling: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(r.Render())
+		if *jsonPath != "" {
+			if err := writeJSON(*jsonPath, []experiments.Result{r}); err != nil {
+				fmt.Fprintf(os.Stderr, "delta-bench: -json: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *hostprof {
+			snap := sim.HostProfSnapshot()
+			fmt.Fprint(os.Stderr, snap.Report())
+		}
+		return
+	}
 
 	var client *store.Client
 	if *server != "" {
@@ -176,6 +207,12 @@ func main() {
 		// Fast-forward cycle accounting (TASKSTREAM_FF_DEBUG), routed
 		// through the process-wide observability registry.
 		fmt.Fprintf(os.Stderr, "[ffstats: %s]\n", obs.Global.Line())
+	}
+	if *hostprof {
+		// Stderr only: the suite's stdout stays byte-identical with and
+		// without profiling (the feedback-free contract, DESIGN.md §18).
+		snap := sim.HostProfSnapshot()
+		fmt.Fprint(os.Stderr, snap.Report())
 	}
 	fmt.Fprintf(os.Stderr, "[all done in %v, -j %d]\n", time.Since(start).Round(time.Millisecond), *jobs)
 }

@@ -228,8 +228,17 @@ func runStalls(args []string) {
 	m := sink.Metrics()
 	fmt.Print(m.StallSummary(o.lanes, rep.Cycles))
 	fmt.Println()
+	fmt.Printf("events: %d buffered, %d dropped\n", sink.Len(), sink.Dropped())
 	fmt.Println("observability counters:")
 	fmt.Print(m.Stats().String())
+	if d := sink.Dropped(); d > 0 {
+		// Metrics keep folding past the buffer limit, so the attribution
+		// above is complete — only an exported trace would be truncated.
+		fmt.Fprintf(os.Stderr,
+			"delta-inspect: warning: %d events dropped at the %d-event buffer limit; "+
+				"attribution is complete, but a -trace-out export would be truncated "+
+				"(raise -trace-limit or pass -trace-limit 0)\n", d, traceLimit)
+	}
 
 	if traceOut != "" {
 		f, err := os.Create(traceOut)

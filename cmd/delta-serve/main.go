@@ -11,6 +11,8 @@
 //	POST /v1/run    one spec → report + {cached: memory|disk|dedup|miss}
 //	POST /v1/suite  batch → streamed per-spec JSON lines, completion order
 //	GET  /v1/stats  runner counters + store size/accounting
+//	GET  /metrics   Prometheus text exposition (hostobs registry)
+//	GET  /debug/vars JSON snapshot of the same series
 //
 // Usage:
 //
@@ -30,6 +32,7 @@ import (
 	"runtime"
 	"strings"
 	"syscall"
+	"time"
 
 	"taskstream/internal/core"
 	"taskstream/internal/runplan"
@@ -45,6 +48,9 @@ type options struct {
 	jobs       int
 	shards     int
 	policy     string
+	logFormat  string
+	accessLog  bool
+	hostprof   bool
 }
 
 // parseFlags binds the flag set over args (without the program name)
@@ -61,6 +67,10 @@ func parseFlags(args []string) (options, error) {
 		"intra-simulation shard count for served runs (byte-identical results); 0 reads TASKSTREAM_SHARDS; 1 forces serial")
 	fs.StringVar(&o.policy, "policy", "",
 		"default dispatch policy for wire specs that omit one ("+strings.Join(core.PolicyNames(), ", ")+"); empty = dynamic")
+	fs.StringVar(&o.logFormat, "log-format", "text", "access-log format: text or json")
+	fs.BoolVar(&o.accessLog, "access-log", true, "log one structured line per request to stderr")
+	fs.BoolVar(&o.hostprof, "hostprof", false,
+		"enable sim host profiling; exports sim_hostprof_* gauges at /metrics")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
 	}
@@ -89,7 +99,25 @@ func (o options) validate() error {
 	if o.shards < 0 {
 		return fmt.Errorf("-shards must be >= 0 (got %d)", o.shards)
 	}
+	if o.logFormat != "text" && o.logFormat != "json" {
+		return fmt.Errorf("-log-format must be text or json (got %q)", o.logFormat)
+	}
 	return nil
+}
+
+// newHTTPServer wraps handler with the daemon's timeout policy.
+// ReadHeaderTimeout and ReadTimeout bound how long a client may dribble
+// a request in (the slow-loris guard); IdleTimeout reaps parked
+// keep-alive connections. There is deliberately NO WriteTimeout:
+// /v1/suite streams ndjson for as long as a cold batch simulates, and a
+// write deadline would sever it mid-stream.
+func newHTTPServer(handler http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 }
 
 // apply installs the options' process-wide effects. Served simulations
@@ -150,7 +178,14 @@ func main() {
 		handler.SetDefaultPolicy(o.policy)
 		fmt.Fprintf(os.Stderr, "delta-serve: default policy %s\n", o.policy)
 	}
-	srv := &http.Server{Handler: handler}
+	if o.accessLog {
+		handler.SetRequestLog(os.Stderr, o.logFormat)
+	}
+	if o.hostprof {
+		handler.EnableHostProf()
+		fmt.Fprintln(os.Stderr, "delta-serve: sim host profiling on (sim_hostprof_* at /metrics)")
+	}
+	srv := newHTTPServer(handler)
 	fmt.Fprintf(os.Stderr, "delta-serve: listening on %s (-j %d)\n", ln.Addr(), o.jobs)
 
 	done := make(chan error, 1)

@@ -18,7 +18,7 @@ func TestParseFlagsDefaults(t *testing.T) {
 		t.Fatalf("parseFlags(nil): %v", err)
 	}
 	want := options{addr: ":8177", storeDir: "delta-store", storeMaxMB: 0,
-		jobs: runtime.GOMAXPROCS(0), shards: 0}
+		jobs: runtime.GOMAXPROCS(0), shards: 0, logFormat: "text", accessLog: true}
 	if o != want {
 		t.Fatalf("parseFlags(nil) = %+v, want %+v", o, want)
 	}
@@ -32,12 +32,14 @@ func TestParseFlagsPlumbing(t *testing.T) {
 	o, err := parseFlags([]string{
 		"-addr", ":9000", "-store", "/tmp/ds", "-store-max-mb", "512",
 		"-j", "3", "-shards", "8", "-policy", "streamgraph",
+		"-log-format", "json", "-access-log=false", "-hostprof",
 	})
 	if err != nil {
 		t.Fatalf("parseFlags: %v", err)
 	}
 	want := options{addr: ":9000", storeDir: "/tmp/ds", storeMaxMB: 512, jobs: 3,
-		shards: 8, policy: "streamgraph"}
+		shards: 8, policy: "streamgraph", logFormat: "json", accessLog: false,
+		hostprof: true}
 	if o != want {
 		t.Fatalf("parseFlags = %+v, want %+v", o, want)
 	}
@@ -49,7 +51,7 @@ func TestParseFlagsPlumbing(t *testing.T) {
 // TestValidateFlags pins the up-front validation: bad values must
 // produce a usage-style error naming the flag, never a partial start.
 func TestValidateFlags(t *testing.T) {
-	valid := options{addr: ":8177", storeDir: "delta-store", jobs: 1}
+	valid := options{addr: ":8177", storeDir: "delta-store", jobs: 1, logFormat: "text"}
 	cases := []struct {
 		name    string
 		mutate  func(*options)
@@ -64,6 +66,8 @@ func TestValidateFlags(t *testing.T) {
 		{"negative jobs", func(o *options) { o.jobs = -2 }, "-j"},
 		{"negative store bound", func(o *options) { o.storeMaxMB = -1 }, "-store-max-mb"},
 		{"negative shards", func(o *options) { o.shards = -1 }, "-shards"},
+		{"json log format passes", func(o *options) { o.logFormat = "json" }, ""},
+		{"unknown log format", func(o *options) { o.logFormat = "xml" }, "-log-format"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -118,5 +122,24 @@ func TestApplyShardsPlumbing(t *testing.T) {
 	options{shards: 0}.apply()
 	if got := os.Getenv("TASKSTREAM_SHARDS"); got != "4" {
 		t.Fatalf("apply with shards=0 clobbered TASKSTREAM_SHARDS to %q, want inherited \"4\"", got)
+	}
+}
+
+// TestHTTPServerTimeouts pins the slow-loris guard: header and read
+// deadlines plus idle reaping are set, and WriteTimeout is zero — a
+// write deadline would sever the long-lived /v1/suite ndjson stream.
+func TestHTTPServerTimeouts(t *testing.T) {
+	srv := newHTTPServer(nil)
+	if srv.ReadHeaderTimeout <= 0 {
+		t.Error("ReadHeaderTimeout unset: slow-loris clients can hold connections open")
+	}
+	if srv.ReadTimeout <= 0 {
+		t.Error("ReadTimeout unset: a dribbled request body is unbounded")
+	}
+	if srv.IdleTimeout <= 0 {
+		t.Error("IdleTimeout unset: parked keep-alive connections are never reaped")
+	}
+	if srv.WriteTimeout != 0 {
+		t.Errorf("WriteTimeout = %v, must be 0 (suite responses stream for the whole batch)", srv.WriteTimeout)
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"taskstream/internal/config"
 	"taskstream/internal/core"
 	"taskstream/internal/obs"
+	"taskstream/internal/sim"
 	"taskstream/internal/stats"
 	"taskstream/internal/workload"
 )
@@ -34,6 +35,7 @@ type options struct {
 	shards     int
 	traceOut   string
 	traceLimit int
+	hostprof   bool
 }
 
 // validatePolicy checks the -policy name separately from the
@@ -123,6 +125,8 @@ func main() {
 		"write a Chrome trace-event / Perfetto JSON trace of the run to this path")
 	flag.IntVar(&o.traceLimit, "trace-limit", 250000,
 		"max buffered trace events (0 = unbounded; metrics keep counting past the limit)")
+	flag.BoolVar(&o.hostprof, "hostprof", false,
+		"profile host wall-clock time inside the engine (per-phase + per-shard attribution to stderr; results unchanged)")
 	flag.Parse()
 
 	if err := o.validatePolicy(); err != nil {
@@ -155,6 +159,9 @@ func main() {
 		sink = obs.New(o.traceLimit)
 		opts.Obs = sink
 	}
+	if o.hostprof {
+		sim.SetHostProf(true)
+	}
 	rep, err := baseline.RunCfg(cfg, opts, w.Prog, w.Storage)
 	if err != nil {
 		fatalf("run: %v", err)
@@ -183,6 +190,12 @@ func main() {
 	if !obs.Global.Empty() {
 		// Fast-forward cycle accounting (TASKSTREAM_FF_DEBUG).
 		fmt.Fprintf(os.Stderr, "delta-sim: %s\n", obs.Global.Line())
+	}
+	if o.hostprof {
+		// Host profile goes to stderr so stdout stays byte-identical
+		// with and without -hostprof (the feedback-free contract).
+		snap := sim.HostProfSnapshot()
+		fmt.Fprint(os.Stderr, snap.Report())
 	}
 
 	fmt.Printf("workload=%s variant=%s lanes=%d\n", o.workload, o.variant, o.lanes)

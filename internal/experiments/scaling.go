@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"taskstream/internal/baseline"
+	"taskstream/internal/config"
+	"taskstream/internal/sim"
+	"taskstream/internal/stats"
+	"taskstream/internal/workload"
+)
+
+// E17 (delta-bench -scaling): measured shard-scaling on the host, the
+// wall-clock companion to the §16 Amdahl projection. Unlike E1–E16 it
+// reports host time, so it never joins Registry() — the byte-identity
+// CI jobs cmp full-suite stdout, and wall-clock numbers would differ
+// every run by construction. It rides its own delta-bench mode and
+// lands in BENCH_10.json instead.
+//
+// Method: for each shard count the workload set runs fresh (no run
+// cache — the point is to execute, not to remember), best-of-reps
+// wall time per point with host profiling OFF so the clock reads
+// don't pollute the timing; then one extra profiled pass per point
+// collects the phase attribution (barrier wait, serial/parallel
+// split), from which the measured Amdahl parallel fraction p and the
+// projected speedup 1/((1-p)+p/s) come. Simulated cycle counts are
+// asserted identical across every shard count — the §16 byte-identity
+// contract, re-checked where it matters.
+
+// ScalingWorkloads is the measured set: the §16 throughput-table
+// workloads — one NoC-bound (spmv), one task-heavy (sort), one
+// lane-dominated (gemm).
+var ScalingWorkloads = []string{"spmv", "sort", "gemm"}
+
+// DefaultScalingShards is the E17 sweep: serial baseline plus
+// doubling shard counts to the §16 projection point.
+var DefaultScalingShards = []int{1, 2, 4, 8}
+
+// scalingPoint is one row of the E17 table.
+type scalingPoint struct {
+	shards    int
+	bestNS    int64   // best-of-reps wall time, workload set end to end
+	speedup   float64 // serial bestNS / this bestNS
+	pFrac     float64 // measured Amdahl parallel fraction (profiled pass)
+	projected float64 // 1/((1-p)+p/s) with the measured p
+	barrierNS int64   // driver barrier-wait from the profiled pass
+	imbalance float64 // max/mean per-shard busy
+}
+
+// runSetOnce executes every workload in names fresh at the given shard
+// count, returning total wall time and per-workload cycle counts.
+func runSetOnce(names []string, shards int) (int64, []int64, error) {
+	cycles := make([]int64, len(names))
+	t0 := time.Now()
+	for i, name := range names {
+		nb := workload.ByName(name)
+		if nb == nil {
+			return 0, nil, fmt.Errorf("E17: unknown workload %q", name)
+		}
+		w := nb.Build()
+		cfg, opts := baseline.Delta.Configure(config.Default8())
+		opts.Shards = shards
+		rep, err := baseline.RunCfg(cfg, opts, w.Prog, w.Storage)
+		if err != nil {
+			return 0, nil, fmt.Errorf("E17: %s at %d shards: %w", name, shards, err)
+		}
+		if err := w.Verify(); err != nil {
+			return 0, nil, fmt.Errorf("E17: %s at %d shards: verification: %w", name, shards, err)
+		}
+		cycles[i] = int64(rep.Cycles)
+	}
+	return int64(time.Since(t0)), cycles, nil
+}
+
+// RunShardScaling measures the shard sweep: best-of-reps wall time
+// per shard count plus one profiled pass for attribution. shards and
+// reps fall back to DefaultScalingShards and 3 when zero.
+func RunShardScaling(shards []int, reps int) (Result, error) {
+	if len(shards) == 0 {
+		shards = DefaultScalingShards
+	}
+	if reps <= 0 {
+		reps = 3
+	}
+	// Host profiling is process-global; pin it off for the timed reps
+	// whatever the caller had set, restore after.
+	wasOn := sim.HostProfEnabled()
+	sim.SetHostProf(false)
+	defer sim.SetHostProf(wasOn)
+
+	points := make([]scalingPoint, 0, len(shards))
+	var refCycles []int64
+	for _, s := range shards {
+		if s < 1 {
+			return Result{}, fmt.Errorf("E17: shard count must be >= 1 (got %d)", s)
+		}
+		p := scalingPoint{shards: s}
+		for rep := 0; rep < reps; rep++ {
+			ns, cycles, err := runSetOnce(ScalingWorkloads, s)
+			if err != nil {
+				return Result{}, err
+			}
+			if refCycles == nil {
+				refCycles = cycles
+			}
+			for i, c := range cycles {
+				if c != refCycles[i] {
+					return Result{}, fmt.Errorf(
+						"E17: %s at %d shards simulated %d cycles, serial reference %d — sharding broke determinism",
+						ScalingWorkloads[i], s, c, refCycles[i])
+				}
+			}
+			if p.bestNS == 0 || ns < p.bestNS {
+				p.bestNS = ns
+			}
+		}
+		// Profiled pass: attribution only, excluded from the timing.
+		sim.SetHostProf(true)
+		sim.ResetHostProf()
+		if _, _, err := runSetOnce(ScalingWorkloads, s); err != nil {
+			sim.SetHostProf(false)
+			return Result{}, err
+		}
+		snap := sim.HostProfSnapshot()
+		sim.SetHostProf(false)
+		p.pFrac = snap.ParallelFraction()
+		p.barrierNS = snap.BarrierWaitNS
+		p.imbalance = snap.Imbalance()
+		if p.pFrac > 0 {
+			p.projected = 1 / ((1 - p.pFrac) + p.pFrac/float64(s))
+		} else {
+			p.projected = 1 // serial point: nothing attributed parallel
+		}
+		points = append(points, p)
+	}
+
+	serialNS := points[0].bestNS
+	for i := range points {
+		points[i].speedup = float64(serialNS) / float64(points[i].bestNS)
+	}
+
+	streams := runtime.GOMAXPROCS(0)
+	tb := newTable(fmt.Sprintf(
+		"E17: measured shard scaling (delta, %s; best of %d, GOMAXPROCS=%d)",
+		joinNames(ScalingWorkloads), reps, streams),
+		"shards", "wall", "speedup", "p (measured)", "projected", "barrier wait", "imbalance")
+	metrics := map[string]float64{"gomaxprocs": float64(streams), "reps": float64(reps)}
+	for _, p := range points {
+		wall := time.Duration(p.bestNS).Round(time.Millisecond)
+		if p.shards == 1 {
+			tb.row(fmt.Sprint(p.shards), wall.String(), "1.00x", "-", "-", "-", "-")
+		} else {
+			tb.row(fmt.Sprint(p.shards), wall.String(),
+				fmt.Sprintf("%.2fx", p.speedup),
+				fmt.Sprintf("%.3f", p.pFrac),
+				fmt.Sprintf("%.2fx", p.projected),
+				time.Duration(p.barrierNS).Round(time.Millisecond).String(),
+				fmt.Sprintf("%.2f", p.imbalance))
+		}
+		tag := fmt.Sprintf("_s%d", p.shards)
+		metrics["wall_ms"+tag] = float64(p.bestNS) / 1e6
+		metrics["speedup"+tag] = p.speedup
+		metrics["projected"+tag] = p.projected
+		metrics["parallel_fraction"+tag] = p.pFrac
+		metrics["barrier_wait_ms"+tag] = float64(p.barrierNS) / 1e6
+	}
+	t, err := tb.build()
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		ID:      "E17",
+		Title:   "measured shard scaling vs the §16 Amdahl projection",
+		Tables:  []*stats.Table{t},
+		Metrics: metrics,
+	}, nil
+}
+
+func joinNames(names []string) string {
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += "+"
+		}
+		out += n
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestShardScalingSmoke runs a minimal E17 sweep (serial + 2 shards,
+// one rep) and checks the shape of the result: the determinism
+// cross-check passed, the serial point anchors speedup at 1.0, and
+// the profiled pass attributed a sane parallel fraction.
+func TestShardScalingSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock measurement; skipped in -short")
+	}
+	r, err := RunShardScaling([]int{1, 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != "E17" {
+		t.Fatalf("ID = %q, want E17", r.ID)
+	}
+	if got := r.Metrics["speedup_s1"]; got != 1 {
+		t.Fatalf("serial speedup = %v, want 1", got)
+	}
+	if r.Metrics["wall_ms_s1"] <= 0 || r.Metrics["wall_ms_s2"] <= 0 {
+		t.Fatalf("no wall time measured: %v", r.Metrics)
+	}
+	p := r.Metrics["parallel_fraction_s2"]
+	if p <= 0 || p >= 1 {
+		t.Fatalf("measured parallel fraction %v out of (0,1)", p)
+	}
+	proj := r.Metrics["projected_s2"]
+	if proj <= 1 || proj >= 2 {
+		t.Fatalf("projected 2-shard speedup %v out of (1,2)", proj)
+	}
+	out := r.Render()
+	for _, want := range []string{"E17", "shards", "barrier wait", "p (measured)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestShardScalingRejectsBadShards pins input validation.
+func TestShardScalingRejectsBadShards(t *testing.T) {
+	if _, err := RunShardScaling([]int{0}, 1); err == nil {
+		t.Fatal("shard count 0 accepted")
+	}
+}
+
+// TestE17NotInRegistry pins the byte-identity firewall: E17 reports
+// wall-clock time, so it must never join the suite registry that the
+// CI cmp jobs render.
+func TestE17NotInRegistry(t *testing.T) {
+	for _, e := range Registry() {
+		if e.ID == "E17" {
+			t.Fatal("E17 is in Registry(); wall-clock output would break suite byte-identity")
+		}
+	}
+}

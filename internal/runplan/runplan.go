@@ -22,10 +22,12 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"taskstream/internal/baseline"
 	"taskstream/internal/config"
 	"taskstream/internal/core"
+	"taskstream/internal/hostobs"
 	"taskstream/internal/workload"
 )
 
@@ -192,11 +194,21 @@ type Runner struct {
 	store   Store
 
 	disabled atomic.Int32 // followEnv | forcedOn | forcedOff
-	misses   atomic.Int64
-	hits     atomic.Int64
-	dedups   atomic.Int64
-	bypasses atomic.Int64
-	diskHits atomic.Int64
+
+	// Tier counters are hostobs primitives so one atomic serves both
+	// Counters() snapshots and a /metrics scrape (InstrumentHost adopts
+	// these same instances — the reconciliation contract delta-serve's
+	// CI job asserts). Indexing is by Source.
+	misses   hostobs.Counter
+	hits     hostobs.Counter
+	dedups   hostobs.Counter
+	bypasses hostobs.Counter
+	diskHits hostobs.Counter
+
+	// lat[src] is the wall-clock resolve latency distribution of
+	// requests answered with that provenance — always recorded (three
+	// atomic adds per Run), named for export only via InstrumentHost.
+	lat [5]*hostobs.Histogram
 }
 
 // NewRunner returns an empty runner. Until SetDisabled pins a state,
@@ -205,7 +217,51 @@ type Runner struct {
 // job flips — re-checked on every Run, not snapshotted at
 // construction.
 func NewRunner() *Runner {
-	return &Runner{flights: make(map[string]*flight)}
+	r := &Runner{flights: make(map[string]*flight)}
+	for i := range r.lat {
+		r.lat[i] = hostobs.NewHistogram(nil)
+	}
+	return r
+}
+
+// counterFor maps a provenance to its tier counter.
+func (r *Runner) counterFor(src Source) *hostobs.Counter {
+	switch src {
+	case SourceMemory:
+		return &r.hits
+	case SourceDisk:
+		return &r.diskHits
+	case SourceDeduped:
+		return &r.dedups
+	case SourceBypass:
+		return &r.bypasses
+	default:
+		return &r.misses
+	}
+}
+
+// InstrumentHost names the runner's tier counters and resolve-latency
+// histograms in reg for export:
+//
+//	runner_resolves_total{tier="memory"|"disk"|"dedup"|"miss"|"bypass"}
+//	runner_resolve_seconds{tier=...}  (histogram)
+//	runner_memory_entries             (gauge, live Len())
+//
+// The registered counters are the Runner's own instances, so a
+// /metrics scrape and a Counters() snapshot can never disagree.
+func (r *Runner) InstrumentHost(reg *hostobs.Registry) {
+	const (
+		cname = "runner_resolves_total"
+		chelp = "Run requests resolved, by cache tier (provenance)."
+		hname = "runner_resolve_seconds"
+		hhelp = "Wall-clock latency of Run requests, by cache tier."
+	)
+	for _, src := range []Source{SourceExecuted, SourceMemory, SourceDisk, SourceDeduped, SourceBypass} {
+		reg.RegisterCounter(cname, chelp, r.counterFor(src), "tier", src.String())
+		reg.RegisterHistogram(hname, hhelp, r.lat[src], "tier", src.String())
+	}
+	reg.GaugeFunc("runner_memory_entries", "In-memory run-cache entries (completed or in flight).",
+		func() int64 { return int64(r.Len()) })
 }
 
 // Shared is the process-wide runner the experiment harness resolves
@@ -258,11 +314,14 @@ func (r *Runner) Reset() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.flights = make(map[string]*flight)
-	r.misses.Store(0)
-	r.hits.Store(0)
-	r.dedups.Store(0)
-	r.bypasses.Store(0)
-	r.diskHits.Store(0)
+	r.misses.Reset()
+	r.hits.Reset()
+	r.dedups.Reset()
+	r.bypasses.Reset()
+	r.diskHits.Reset()
+	for _, h := range r.lat {
+		h.Reset()
+	}
 }
 
 // Evict removes the in-memory entry for key, reporting whether one
@@ -289,11 +348,11 @@ func (r *Runner) Len() int {
 // Counters returns a snapshot of the runner's accounting.
 func (r *Runner) Counters() Counters {
 	return Counters{
-		Misses:   r.misses.Load(),
-		Hits:     r.hits.Load(),
-		Dedups:   r.dedups.Load(),
-		Bypasses: r.bypasses.Load(),
-		DiskHits: r.diskHits.Load(),
+		Misses:   r.misses.Value(),
+		Hits:     r.hits.Value(),
+		Dedups:   r.dedups.Value(),
+		Bypasses: r.bypasses.Value(),
+		DiskHits: r.diskHits.Value(),
 	}
 }
 
@@ -309,8 +368,17 @@ func (r *Runner) Run(s Spec) (core.Report, error) {
 	return rep, err
 }
 
-// RunInfo is Run plus provenance: where the answer came from.
+// RunInfo is Run plus provenance: where the answer came from. Every
+// resolution is timed into the per-tier latency histogram (host-side
+// accounting only; see InstrumentHost).
 func (r *Runner) RunInfo(s Spec) (core.Report, Source, error) {
+	t0 := time.Now()
+	rep, src, err := r.runInfo(s)
+	r.lat[src].Observe(time.Since(t0))
+	return rep, src, err
+}
+
+func (r *Runner) runInfo(s Spec) (core.Report, Source, error) {
 	if r.Disabled() || !s.Cacheable() {
 		r.bypasses.Add(1)
 		rep, err := s.execute()

@@ -11,6 +11,7 @@ import (
 	"taskstream/internal/baseline"
 	"taskstream/internal/config"
 	"taskstream/internal/core"
+	"taskstream/internal/hostobs"
 	"taskstream/internal/trace"
 	"taskstream/internal/workload"
 )
@@ -396,5 +397,64 @@ func TestRunnerReset(t *testing.T) {
 	}
 	if c := r.Counters(); c.Misses != 1 || c.Hits != 0 {
 		t.Fatalf("counters after Reset+Run = %+v, want a fresh miss", c)
+	}
+}
+
+// TestInstrumentHostReconciles pins the single-source-of-truth
+// contract: a /metrics scrape of an instrumented runner and a
+// Counters() snapshot report the same tier tallies, and the latency
+// histograms record exactly one observation per resolution.
+func TestInstrumentHostReconciles(t *testing.T) {
+	r := NewRunner()
+	r.SetDisabled(false)
+	reg := hostobs.NewRegistry()
+	r.InstrumentHost(reg)
+
+	if _, err := r.Run(histSpec()); err != nil { // miss
+		t.Fatal(err)
+	}
+	if _, err := r.Run(histSpec()); err != nil { // memory hit
+		t.Fatal(err)
+	}
+	traced := histSpec()
+	traced.Opts.Trace = trace.New(0)
+	if _, _, err := r.RunInfo(traced); err != nil { // bypass
+		t.Fatal(err)
+	}
+
+	c := r.Counters()
+	if c.Misses != 1 || c.Hits != 1 || c.Bypasses != 1 {
+		t.Fatalf("counters = %+v, want 1 miss + 1 hit + 1 bypass", c)
+	}
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	scrape := buf.String()
+	for _, want := range []string{
+		`runner_resolves_total{tier="miss"} 1`,
+		`runner_resolves_total{tier="memory"} 1`,
+		`runner_resolves_total{tier="bypass"} 1`,
+		`runner_resolves_total{tier="disk"} 0`,
+		`runner_resolves_total{tier="dedup"} 0`,
+		`runner_memory_entries 1`,
+		`runner_resolve_seconds_count{tier="miss"} 1`,
+		`runner_resolve_seconds_count{tier="memory"} 1`,
+		`runner_resolve_seconds_count{tier="bypass"} 1`,
+	} {
+		if !strings.Contains(scrape, want) {
+			t.Errorf("scrape missing %q:\n%s", want, scrape)
+		}
+	}
+
+	// Counter identity survives Reset: the registry holds the runner's
+	// own instances, so the scrape tracks the snapshot after zeroing.
+	r.Reset()
+	buf.Reset()
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `runner_resolves_total{tier="miss"} 0`) {
+		t.Fatalf("scrape after Reset still shows stale counts:\n%s", buf.String())
 	}
 }

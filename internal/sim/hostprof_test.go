@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestHostProfIdentity pins the feedback-free contract at the engine
+// level: a profiled sharded run produces exactly the cycle count,
+// per-lane state, and ordered effect log of an unprofiled one.
+func TestHostProfIdentity(t *testing.T) {
+	for _, ff := range []bool{false, true} {
+		run := func() (Cycle, []*toyLane, []string) {
+			e, lanes, log := buildToy(6, 2, ff)
+			c, err := e.Run(nil)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			return c, lanes, append([]string(nil), *log...)
+		}
+		cPlain, lanesPlain, logPlain := run()
+
+		SetHostProf(true)
+		ResetHostProf()
+		cProf, lanesProf, logProf := run()
+		snap := HostProfSnapshot()
+		SetHostProf(false)
+
+		if cPlain != cProf {
+			t.Fatalf("ff=%v: profiled run cycles %d != plain %d", ff, cProf, cPlain)
+		}
+		if !reflect.DeepEqual(logPlain, logProf) {
+			t.Fatalf("ff=%v: effect logs diverge:\nplain: %v\nprof:  %v", ff, logPlain, logProf)
+		}
+		for i := range lanesPlain {
+			if lanesPlain[i].fired != lanesProf[i].fired || lanesPlain[i].busy != lanesProf[i].busy {
+				t.Fatalf("ff=%v: lane %d state diverges: plain {fired %d busy %d} prof {fired %d busy %d}",
+					ff, i, lanesPlain[i].fired, lanesPlain[i].busy, lanesProf[i].fired, lanesProf[i].busy)
+			}
+		}
+		if snap.Runs != 1 || snap.ShardedRuns != 1 {
+			t.Fatalf("ff=%v: snapshot runs = %+v, want 1 sharded run", ff, snap)
+		}
+		if snap.TotalNS <= 0 {
+			t.Fatalf("ff=%v: no wall time recorded: %+v", ff, snap)
+		}
+		if len(snap.ShardBusyNS) != 6 {
+			t.Fatalf("ff=%v: shard busy slots = %d, want 6", ff, len(snap.ShardBusyNS))
+		}
+		if snap.ExecutedCycles <= 0 {
+			t.Fatalf("ff=%v: no executed cycles recorded", ff)
+		}
+	}
+}
+
+// TestHostProfSerialEngine checks a plain Engine contributes run
+// totals (but no phase attribution) to the aggregate.
+func TestHostProfSerialEngine(t *testing.T) {
+	SetHostProf(true)
+	defer SetHostProf(false)
+	ResetHostProf()
+	e, _, _ := buildToy(4, 0, false)
+	if _, err := e.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	snap := HostProfSnapshot()
+	if snap.Runs != 1 || snap.ShardedRuns != 0 {
+		t.Fatalf("snapshot = %+v, want 1 serial run", snap)
+	}
+	rep := snap.Report()
+	if !strings.Contains(rep, "no sharded runs") {
+		t.Fatalf("serial-only report should say attribution is unavailable:\n%s", rep)
+	}
+}
+
+// TestHostProfReportShape checks the -hostprof rendering carries the
+// barrier-wait attribution and the Amdahl split.
+func TestHostProfReportShape(t *testing.T) {
+	SetHostProf(true)
+	defer SetHostProf(false)
+	ResetHostProf()
+	e, _, _ := buildToy(8, 3, false)
+	if _, err := e.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	snap := HostProfSnapshot()
+	rep := snap.Report()
+	for _, want := range []string{
+		"barrier wait", "serial prefix", "serial suffix", "outbox drain",
+		"parallel fraction p =", "per-shard busy",
+	} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("report missing %q:\n%s", want, rep)
+		}
+	}
+	if snap.ParallelFraction() < 0 || snap.ParallelFraction() > 1 {
+		t.Fatalf("parallel fraction out of range: %v", snap.ParallelFraction())
+	}
+	if snap.Streams != 4 {
+		t.Fatalf("streams = %d, want 4 (3 workers + driver)", snap.Streams)
+	}
+}
+
+// TestHostProfMerge checks aggregate folding across runs and slices of
+// different lengths.
+func TestHostProfMerge(t *testing.T) {
+	var p HostProf
+	p.merge(&HostProf{Runs: 1, ShardBusyNS: []int64{5, 5}, Streams: 2, TotalNS: 10})
+	p.merge(&HostProf{Runs: 1, ShardedRuns: 1, ShardBusyNS: []int64{1, 2, 3, 4}, Streams: 4, TotalNS: 20})
+	if p.Runs != 2 || p.ShardedRuns != 1 || p.TotalNS != 30 || p.Streams != 4 {
+		t.Fatalf("merge totals wrong: %+v", p)
+	}
+	if !reflect.DeepEqual(p.ShardBusyNS, []int64{6, 7, 3, 4}) {
+		t.Fatalf("merged shard busy = %v", p.ShardBusyNS)
+	}
+	if p.ShardBusyTotalNS() != 20 {
+		t.Fatalf("shard busy total = %d", p.ShardBusyTotalNS())
+	}
+}

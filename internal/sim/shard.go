@@ -50,6 +50,14 @@ type ShardedEngine struct {
 	stepFn func(int)
 	horFn  func(int)
 	skipFn func(int)
+
+	// Host profiling (hostprof.go): non-nil only for the duration of a
+	// profiled Run. profStepFn is the per-item timing variant of
+	// stepFn; per-shard busy accumulates into prof.ShardBusyNS, whose
+	// distinct elements are written by at most one goroutine per
+	// dispatch and read by the driver only after the barrier join.
+	prof       *HostProf
+	profStepFn func(int)
 }
 
 // NewShardedEngine returns an engine that runs its parallel group on
@@ -111,12 +119,37 @@ func (s *ShardedEngine) Run(done func() bool) (Cycle, error) {
 	}
 	s.pool = newWorkerPool(s.workers)
 	defer s.pool.stop()
-	return s.runLoop(s, done)
+	if !hostProfOn.Load() {
+		return s.runLoop(s, done)
+	}
+	s.prof = &HostProf{
+		Runs: 1, ShardedRuns: 1,
+		ShardBusyNS: make([]int64, n),
+		Streams:     s.workers + 1,
+	}
+	s.profStepFn = func(j int) {
+		k := s.parWork[j]
+		t := nowNS()
+		s.tickOne(s.pstart + k)
+		s.prof.ShardBusyNS[k] += nowNS() - t
+	}
+	t0 := nowNS()
+	c, err := s.runLoop(s, done)
+	s.prof.TotalNS = nowNS() - t0
+	s.prof.ExecutedCycles = s.ExecutedCycles
+	s.prof.SkippedCycles = s.SkippedCycles
+	mergeHostProf(s.prof)
+	s.prof, s.profStepFn = nil, nil
+	return c, err
 }
 
 // step executes one sharded cycle (see the type comment for the phase
 // structure).
 func (s *ShardedEngine) step() {
+	if s.prof != nil {
+		s.stepProf()
+		return
+	}
 	for i := 0; i < s.pstart; i++ {
 		s.tickOne(i)
 	}
@@ -146,6 +179,60 @@ func (s *ShardedEngine) step() {
 	for i := s.pend; i < len(s.regs); i++ {
 		s.tickOne(i)
 	}
+	s.now++
+	s.ExecutedCycles++
+}
+
+// stepProf is step with the host-profiling clock read around every
+// phase (hostprof.go). Kept as a separate body so the unprofiled hot
+// path pays exactly one nil check per cycle. The phase structure must
+// mirror step exactly; TestHostProfIdentity pins that the results do.
+func (s *ShardedEngine) stepProf() {
+	p := s.prof
+	t := nowNS()
+	for i := 0; i < s.pstart; i++ {
+		s.tickOne(i)
+	}
+	t1 := nowNS()
+	p.SerialPrefixNS += t1 - t
+	t = t1
+	s.parWork = s.parWork[:0]
+	if s.coupled != nil {
+		for k := 0; k < s.pend-s.pstart; k++ {
+			if s.coupled(k) {
+				s.tickOne(s.pstart + k)
+			} else {
+				s.parWork = append(s.parWork, k)
+			}
+		}
+	} else {
+		for k := 0; k < s.pend-s.pstart; k++ {
+			s.parWork = append(s.parWork, k)
+		}
+	}
+	t1 = nowNS()
+	p.CoupledNS += t1 - t
+	t = t1
+	p.BarrierWaitNS += s.pool.dispatchTimed(len(s.parWork), s.profStepFn)
+	t1 = nowNS()
+	p.ParallelNS += t1 - t
+	t = t1
+	for _, ob := range s.outboxes {
+		ob.drain()
+	}
+	t1 = nowNS()
+	p.OutboxDrainNS += t1 - t
+	t = t1
+	for _, h := range s.hooks {
+		h()
+	}
+	t1 = nowNS()
+	p.HookNS += t1 - t
+	t = t1
+	for i := s.pend; i < len(s.regs); i++ {
+		s.tickOne(i)
+	}
+	p.SerialSuffixNS += nowNS() - t
 	s.now++
 	s.ExecutedCycles++
 }
@@ -256,6 +343,36 @@ func (p *workerPool) dispatch(items int, run func(int)) {
 		panic(r)
 	default:
 	}
+}
+
+// dispatchTimed is dispatch plus barrier-wait attribution: it returns
+// the wall nanoseconds the calling goroutine spent spinning at the
+// join after finishing its own share of items — the host-profiling
+// measure of shard imbalance (a perfectly balanced epoch waits ~0).
+// Kept separate from dispatch so the unprofiled per-cycle path carries
+// no clock reads.
+func (p *workerPool) dispatchTimed(items int, run func(int)) (waitNS int64) {
+	if items == 0 {
+		return 0
+	}
+	p.items = items
+	p.run = run
+	p.cursor.Store(0)
+	p.done.Store(0)
+	p.epoch.Add(1)
+	p.work()
+	t := nowNS()
+	for p.done.Load() < int64(p.workers) {
+		runtime.Gosched()
+	}
+	waitNS = nowNS() - t
+	p.run = nil
+	select {
+	case r := <-p.panics:
+		panic(r)
+	default:
+	}
+	return waitNS
 }
 
 // work claims and runs items until the cursor is exhausted, trapping

@@ -275,7 +275,21 @@ type driver interface {
 // cycle counts, statistics, and termination are byte-identical to a
 // cycle-by-cycle run.
 func (e *Engine) Run(done func() bool) (Cycle, error) {
-	return e.runLoop(e, done)
+	if !hostProfOn.Load() {
+		return e.runLoop(e, done)
+	}
+	// Host profiling (hostprof.go): a serial engine carries no phase
+	// attribution, only run totals.
+	t0 := nowNS()
+	c, err := e.runLoop(e, done)
+	mergeHostProf(&HostProf{
+		Runs:           1,
+		ExecutedCycles: e.ExecutedCycles,
+		SkippedCycles:  e.SkippedCycles,
+		TotalNS:        nowNS() - t0,
+		Streams:        1,
+	})
+	return c, err
 }
 
 // ffEngaged reports whether fast-forwarding can run: opted in and every

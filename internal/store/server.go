@@ -3,10 +3,13 @@ package store
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"sync"
+	"sync/atomic"
 
 	"taskstream/internal/core"
+	"taskstream/internal/hostobs"
 	"taskstream/internal/runplan"
 
 	// The server accepts specs by workload name, so it must know the
@@ -28,6 +31,15 @@ type Server struct {
 	// defPolicy, when non-empty, fills wire specs that omit a policy
 	// name (delta-serve -policy). It never overrides an explicit one.
 	defPolicy string
+
+	// Host observability (hostmetrics.go): the metrics registry behind
+	// /metrics and /debug/vars, the request id sequence, and the
+	// optional structured access log.
+	host    *hostobs.Registry
+	reqSeq  atomic.Int64
+	logMu   sync.Mutex
+	logW    io.Writer
+	logJSON bool
 }
 
 // NewServer wires a server over runner. disk may be nil (memory-only
@@ -38,7 +50,7 @@ func NewServer(runner *runplan.Runner, disk *DiskStore, workers int) *Server {
 	if disk != nil {
 		runner.SetStore(disk)
 	}
-	s := &Server{runner: runner, disk: disk}
+	s := &Server{runner: runner, disk: disk, host: hostobs.NewRegistry()}
 	if workers > 0 {
 		s.sem = make(chan struct{}, workers)
 	}
@@ -46,11 +58,18 @@ func NewServer(runner *runplan.Runner, disk *DiskStore, workers int) *Server {
 	s.mux.HandleFunc("/v1/run", s.handleRun)
 	s.mux.HandleFunc("/v1/suite", s.handleSuite)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/vars", s.handleVars)
+	runner.InstrumentHost(s.host)
+	if disk != nil {
+		s.instrumentDisk()
+	}
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler, routing every request through the
+// observation middleware (hostmetrics.go).
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.observe(w, r) }
 
 // SetDefaultPolicy installs the scheduler policy name applied to wire
 // specs that omit one. The name must already be validated
@@ -104,6 +123,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := s.resolve(req.Spec)
+	if ri := infoFrom(r.Context()); ri != nil {
+		ri.key, ri.cached = resp.Key, resp.Cached
+	}
 	status := http.StatusOK
 	if resp.Error != "" {
 		if resp.Key == "" { // never resolved to a runnable spec
